@@ -1,0 +1,42 @@
+"""Extension ablations beyond the paper's figures (DESIGN.md Section 6):
+epoch-length sensitivity, warp-scheduler generality, and the motivating
+comparison against unmanaged SMK sharing.
+"""
+
+
+def test_ext_epoch_length_flat(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.ext_epoch_length()),
+                                rounds=1, iterations=1)
+    values = list(result.data["series"]["rollover"].values())
+    # Section 4.1 fixes the epoch length citing [17]; QoSreach should not
+    # fall off a cliff within a 4x range around the preset value.
+    assert max(values) - min(values) <= 0.5
+
+
+def test_ext_scheduler_quotas_work_over_lrr(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.ext_scheduler()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    # The EWS filter is policy-agnostic: Rollover must deliver a healthy
+    # share of goals over LRR too, not only over GTO.
+    assert series["lrr"]["QoSreach"] >= series["gto"]["QoSreach"] - 0.5
+    assert series["lrr"]["QoSreach"] > 0.3
+
+
+def test_ext_unmanaged_smk_cannot_do_qos(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.ext_unmanaged()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    # Fine-grained sharing alone biases arbitrarily between kernels
+    # (Section 3.1); quota management must reach strictly more goals.
+    assert series["rollover"]["AVG"] > series["smk"]["AVG"]
+
+def test_ext_fusion_cannot_do_qos(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.ext_fusion()),
+                                rounds=1, iterations=1)
+    data = result.data
+    # Fusion's co-location throughput is in the same ballpark as SMK --
+    # its deficiency is control, not throughput (Section 2.3).
+    assert data["fused_stp"] > 0.4 * data["smk_stp"]
+    # The hardware approach actually delivers per-kernel goals.
+    assert data["qos_reach"] > 0.5

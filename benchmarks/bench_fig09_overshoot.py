@@ -1,0 +1,20 @@
+"""Figure 9: QoS-kernel throughput normalised to its goal.
+
+Paper: Spart exceeds goals by 11.6 % on average (whole SMs are indivisible,
+so QoS kernels get more than they need), Rollover by only 2.8 % — resources
+freed by precise control flow to the non-QoS kernels instead.
+"""
+
+
+def test_fig09_overshoot(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.fig09()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    spart = series["spart"]["AVG"]
+    rollover = series["rollover"]["AVG"]
+    assert rollover is not None and spart is not None
+    # Both at least reach goals on met cases...
+    assert rollover >= 1.0 - 1e-6
+    # ...but fine-grained control overshoots far less.
+    assert rollover < spart
+    assert rollover < 1.12  # paper: 1.028; we allow fast-preset noise

@@ -1,0 +1,29 @@
+"""Figures 10-11: Rollover vs CPU-style prioritisation (Rollover-Time).
+
+Paper (Section 4.5): both reach similar QoSreach (within ~3 %), but blocking
+non-QoS kernels until QoS quotas drain destroys overlap — non-QoS throughput
+degrades by ~1.47x under Rollover-Time.  GPUs are not CPUs: concurrency is
+where the throughput lives.
+"""
+
+
+def test_fig10_qosreach_parity(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.fig10()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    rollover = series["rollover"]["AVG"]
+    timed = series["rollover-time"]["AVG"]
+    # Similar capability of reaching goals.
+    assert abs(rollover - timed) < 0.25
+
+
+def test_fig11_nonqos_throughput_gap(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.fig11()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    rollover = series["rollover"]["AVG"]
+    timed = series["rollover-time"]["AVG"]
+    if rollover is None or timed is None:
+        return
+    # Overlapped execution must beat time multiplexing on throughput.
+    assert rollover >= timed

@@ -1,0 +1,24 @@
+"""Figures 12-13: scalability with SM count (Section 4.6).
+
+Paper: on a 56-SM machine Spart's granularity handicap shrinks (finer SM
+quanta) but Rollover still leads QoSreach by ~4.8 % and non-QoS throughput
+by ~30 %.  The fast preset uses the proportionally scaled many-SM analogue
+(2x SMs, two warp schedulers per SM).
+"""
+
+
+def test_fig12_qosreach_many_sm(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.fig12()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    assert series["rollover"]["AVG"] >= series["spart"]["AVG"] - 0.1
+
+
+def test_fig13_nonqos_throughput_many_sm(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.fig13()),
+                                rounds=1, iterations=1)
+    series = result.data["series"]
+    rollover = series["rollover"]["AVG"]
+    spart = series["spart"]["AVG"]
+    if rollover is not None and spart is not None:
+        assert rollover >= spart * 0.8

@@ -1,0 +1,21 @@
+"""Tables 1 and 2: machine parameters and the qualitative feature matrix."""
+
+
+def test_table1_parameters(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.table1()),
+                                rounds=1, iterations=1)
+    rows = result.data["rows"]
+    assert rows["Sched. Policy"] == "GTO"
+    if suite.preset.name == "paper":
+        assert rows["# of SMs"] == 16
+        assert rows["Registers"] == "256KB"
+        assert rows["Threads"] == 2048
+
+
+def test_table2_feature_matrix(benchmark, suite, publish):
+    result = benchmark.pedantic(lambda: publish(suite.table2()),
+                                rounds=1, iterations=1)
+    features = result.data["features"]
+    # The proposed design is hardware-based and ticks every capability row.
+    for row in features[1:]:
+        assert row[-1] == "y"

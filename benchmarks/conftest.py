@@ -1,0 +1,49 @@
+"""Shared fixtures for the figure-regeneration benchmarks.
+
+All benchmarks share one :class:`ExperimentSuite` so the underlying
+(pair x goal x scheme) simulations are run once and sliced by every figure,
+exactly as the paper's figures all view one set of runs.
+
+Scale is selected with ``--repro-preset`` (default: ``fast``; use ``paper``
+for the full Section 4.1 protocol — hours of simulation).  Each benchmark
+prints the regenerated paper-style table (run pytest with ``-s`` to see
+them inline) and writes it to ``benchmarks/results/``.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.harness.experiments import ExperimentSuite
+from repro.harness.presets import experiment_preset
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser):
+    parser.addoption("--repro-preset", default="fast",
+                     choices=("smoke", "fast", "paper"),
+                     help="experiment scale for figure regeneration")
+
+
+@pytest.fixture(scope="session")
+def suite(request) -> ExperimentSuite:
+    preset = experiment_preset(request.config.getoption("--repro-preset"))
+    return ExperimentSuite(preset)
+
+
+@pytest.fixture(scope="session")
+def publish():
+    """Print a regenerated table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _publish(result):
+        print()
+        print(result.table)
+        path = RESULTS_DIR / f"{result.experiment_id}.txt"
+        path.write_text(result.table + "\n")
+        return result
+
+    return _publish

@@ -1,0 +1,57 @@
+#!/usr/bin/env python3
+"""Quickstart: share a GPU between a QoS kernel and a best-effort kernel.
+
+Runs ``sgemm`` (compute-intensive, QoS goal = 70 % of its isolated IPC)
+together with ``lbm`` (memory-intensive, best-effort) under the paper's
+Rollover quota scheme, and shows the three numbers the paper's evaluation
+revolves around: whether the goal was reached, how little it was overshot
+by, and how much throughput the best-effort kernel extracted from the
+leftover resources.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import FAST_GPU, GPUSimulator, LaunchedKernel, QoSPolicy, get_kernel
+
+CYCLES = 30_000
+GOAL_FRACTION = 0.70
+
+
+def isolated_ipc(name: str) -> float:
+    """IPC of a kernel running the GPU alone (the paper's IPC_isolated)."""
+    sim = GPUSimulator(FAST_GPU, [LaunchedKernel(get_kernel(name))])
+    sim.run(CYCLES)
+    return sim.result().kernels[0].ipc
+
+
+def main() -> None:
+    print(f"machine: {FAST_GPU.num_sms} SMs, "
+          f"{FAST_GPU.sm.warp_schedulers} warp schedulers/SM, "
+          f"epoch = {FAST_GPU.epoch_length} cycles")
+
+    iso_sgemm = isolated_ipc("sgemm")
+    iso_lbm = isolated_ipc("lbm")
+    goal = GOAL_FRACTION * iso_sgemm
+    print(f"isolated IPC: sgemm {iso_sgemm:.1f}, lbm {iso_lbm:.1f}")
+    print(f"QoS goal for sgemm: {goal:.1f} ({GOAL_FRACTION:.0%} of isolated)\n")
+
+    sim = GPUSimulator(FAST_GPU, [
+        LaunchedKernel(get_kernel("sgemm"), is_qos=True, ipc_goal=goal),
+        LaunchedKernel(get_kernel("lbm")),
+    ], QoSPolicy("rollover"))
+    sim.run(CYCLES)
+    result = sim.result()
+
+    qos, nonqos = result.kernels
+    print(f"co-run under Rollover QoS for {CYCLES} cycles "
+          f"({result.epochs} epochs, {result.evictions} TB context switches)")
+    print(f"  sgemm (QoS):  IPC {qos.ipc:7.1f}  -> goal "
+          f"{'REACHED' if qos.reached_goal else 'MISSED'} "
+          f"({qos.ipc / goal:.2%} of goal)")
+    print(f"  lbm (non-QoS): IPC {nonqos.ipc:7.1f}  -> "
+          f"{nonqos.ipc / iso_lbm:.1%} of its isolated throughput "
+          f"from leftover resources")
+
+
+if __name__ == "__main__":
+    main()

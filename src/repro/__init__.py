@@ -1,0 +1,86 @@
+"""repro — reproduction of *Quality of Service Support for Fine-Grained
+Sharing on GPUs* (Wang et al., ISCA 2017).
+
+A pure-Python cycle-level simulator of a multitasking GPU with the paper's
+fine-grained QoS mechanisms (quota-based dynamic management + static TB
+allocation over Simultaneous-Multikernel sharing), the Spart spatial
+partitioning baseline, synthetic Parboil workload models, a GPUWattch-style
+power model, and a harness regenerating every table and figure of the
+paper's evaluation.
+
+Quickstart::
+
+    from repro import (FAST_GPU, GPUSimulator, LaunchedKernel, QoSPolicy,
+                       get_kernel)
+
+    kernels = [
+        LaunchedKernel(get_kernel("sgemm"), is_qos=True, ipc_goal=120.0),
+        LaunchedKernel(get_kernel("lbm")),
+    ]
+    sim = GPUSimulator(FAST_GPU, kernels, QoSPolicy("rollover"))
+    sim.run(50_000)
+    for kernel in sim.result().kernels:
+        print(kernel.name, kernel.ipc, kernel.reached_goal)
+"""
+
+from repro.config import (
+    FAST_GPU,
+    GPUConfig,
+    LatencyConfig,
+    MemoryConfig,
+    PAPER_GPU,
+    PASCAL56_GPU,
+    PreemptionConfig,
+    SMConfig,
+    preset,
+)
+from repro.kernels import (
+    InstructionMix,
+    KernelSpec,
+    MemoryPattern,
+    PARBOIL,
+    PARBOIL_NAMES,
+    get_kernel,
+)
+from repro.sim import GPUSimulator, LaunchedKernel, SharingPolicy, SimulationResult
+from repro.qos import (
+    QoSPolicy,
+    QoSRequirement,
+    TransferModel,
+    translate_qos_goal,
+    scheme_by_name,
+)
+from repro.baselines import SpartPolicy
+from repro.power import PowerModel
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FAST_GPU",
+    "PAPER_GPU",
+    "PASCAL56_GPU",
+    "GPUConfig",
+    "SMConfig",
+    "MemoryConfig",
+    "LatencyConfig",
+    "PreemptionConfig",
+    "preset",
+    "InstructionMix",
+    "KernelSpec",
+    "MemoryPattern",
+    "PARBOIL",
+    "PARBOIL_NAMES",
+    "get_kernel",
+    "GPUSimulator",
+    "LaunchedKernel",
+    "SharingPolicy",
+    "SimulationResult",
+    "QoSPolicy",
+    "QoSRequirement",
+    "TransferModel",
+    "translate_qos_goal",
+    "scheme_by_name",
+    "SpartPolicy",
+    "PowerModel",
+    "__version__",
+]

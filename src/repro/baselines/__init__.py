@@ -1,0 +1,11 @@
+"""Baseline sharing/QoS policies the paper compares against.
+
+* :class:`SpartPolicy` — spatial partitioning with hill-climbing QoS
+  (Aguilera et al. [3]): the previous best, one SM-count knob per kernel.
+* :class:`repro.sim.SharingPolicy` (the base class) — unmanaged SMK
+  fine-grained sharing: every kernel greedily fills every SM, no QoS.
+"""
+
+from repro.baselines.spart import SpartPolicy
+
+__all__ = ["SpartPolicy"]

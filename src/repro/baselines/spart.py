@@ -1,0 +1,161 @@
+"""Spart: spatially partitioned multitasking with hill-climbing QoS.
+
+Re-implementation of the paper's primary baseline [3] (Aguilera et al.,
+"QoS-aware dynamic resource allocation for spatial-multitasking GPUs"):
+every SM runs exactly one kernel; QoS is pursued by moving whole SMs between
+kernels with a hill-climbing search driven by a linear performance model
+(IPC is assumed proportional to SM count).  Its structural weaknesses — one
+coarse knob, an SM is indivisible between a QoS and a non-QoS kernel, no
+control over memory bandwidth — are exactly what the paper's fine-grained
+design removes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.sim.engine import GPUSimulator, SharingPolicy
+
+#: Relative surplus a QoS kernel must keep after losing one SM for the
+#: hill climber to hand that SM back to a non-QoS kernel.  The linear
+#: IPC-per-SM model underestimates co-runner bandwidth interference
+#: (Section 5 notes the model "heavily depends on the sharer kernels"), so
+#: the margin is generous to damp give-back/steal oscillation.
+GIVE_BACK_MARGIN = 1.25
+
+#: Epochs to wait after a repartition before the next hill-climbing step,
+#: letting the cumulative IPC measurement settle on the new configuration.
+SETTLE_EPOCHS = 2
+
+
+class SpartPolicy(SharingPolicy):
+    """Spatial partitioning + hill climbing (the paper's 'Spart')."""
+
+    uses_quotas = False
+    name = "spart"
+
+    def __init__(self, adjust_interval: int = 1):
+        if adjust_interval <= 0:
+            raise ValueError("adjust_interval must be positive")
+        self.adjust_interval = adjust_interval
+        self.owner: List[int] = []          # SM id -> kernel idx
+        self.qos_indices: List[int] = []
+        self.nonqos_indices: List[int] = []
+        self.goals: Dict[int, float] = {}
+        self.ipc_history: Dict[int, float] = {}
+        self.moves = 0
+        self._settle_until_epoch = 0
+
+    # --------------------------------------------------------------- setup
+
+    def setup(self, engine: GPUSimulator) -> None:
+        for idx, launch in enumerate(engine.kernels):
+            if launch.is_qos:
+                self.qos_indices.append(idx)
+                self.goals[idx] = launch.ipc_goal
+            else:
+                self.nonqos_indices.append(idx)
+            self.ipc_history[idx] = 0.0
+        num_sms = engine.config.num_sms
+        num_kernels = engine.num_kernels
+        if num_kernels > num_sms:
+            raise ValueError("spatial partitioning needs at least one SM per kernel")
+        share = num_sms // num_kernels
+        counts = {idx: share for idx in range(num_kernels)}
+        leftover = num_sms - share * num_kernels
+        # Remaining SMs go to QoS kernels first: they carry requirements.
+        for idx in (self.qos_indices + self.nonqos_indices)[:leftover]:
+            counts[idx] += 1
+        self.owner = []
+        for idx in range(num_kernels):
+            self.owner.extend([idx] * counts[idx])
+        self._apply_partition(engine)
+
+    def _apply_partition(self, engine: GPUSimulator) -> None:
+        max_tbs = engine.config.sm.max_tbs
+        for sm_id, owner_idx in enumerate(self.owner):
+            for kernel_idx in range(engine.num_kernels):
+                target = max_tbs if kernel_idx == owner_idx else 0
+                engine.set_tb_target(sm_id, kernel_idx, target)
+
+    # --------------------------------------------------------------- epochs
+
+    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+                       epoch_index: int) -> None:
+        if epoch_index == 0:
+            return
+        for idx, stats in enumerate(engine.kernel_stats):
+            self.ipc_history[idx] = stats.retired_thread_insts / max(1, cycle)
+        if epoch_index % self.adjust_interval != 0:
+            return
+        if engine.preemption.has_pending or epoch_index < self._settle_until_epoch:
+            return  # let the previous repartition settle first
+        if self._hill_climb(engine):
+            self._settle_until_epoch = epoch_index + SETTLE_EPOCHS
+
+    def sm_count(self, kernel_idx: int) -> int:
+        return self.owner.count(kernel_idx)
+
+    def _hill_climb(self, engine: GPUSimulator) -> bool:
+        """One hill-climbing move: grow a lagging QoS kernel, or shrink an
+        over-achieving one in favour of the non-QoS partition.  Returns
+        True when a repartition happened."""
+        lagging = [idx for idx in self.qos_indices
+                   if self.ipc_history[idx] < self.goals[idx]]
+        if lagging:
+            # Grow the furthest-behind kernel first.
+            lagging.sort(key=lambda idx: self.ipc_history[idx] / self.goals[idx])
+            for idx in lagging:
+                donor = self._choose_donor(idx)
+                if donor is not None:
+                    self._transfer_sm(engine, donor, idx)
+                    return True
+            return False
+        return self._maybe_give_back(engine)
+
+    def _choose_donor(self, beneficiary: int) -> Optional[int]:
+        """Donor preference: largest non-QoS partition, else a QoS kernel
+        predicted (linear model) to stay above goal with one less SM."""
+        nonqos = [idx for idx in self.nonqos_indices if self.sm_count(idx) > 0]
+        if nonqos:
+            return max(nonqos, key=self.sm_count)
+        best = None
+        best_surplus = 0.0
+        for idx in self.qos_indices:
+            if idx == beneficiary:
+                continue
+            sms = self.sm_count(idx)
+            if sms <= 1:
+                continue
+            predicted = self.ipc_history[idx] * (sms - 1) / sms
+            surplus = predicted - self.goals[idx]
+            if surplus > best_surplus:
+                best, best_surplus = idx, surplus
+        return best
+
+    def _maybe_give_back(self, engine: GPUSimulator) -> bool:
+        """All goals met: return one SM to the non-QoS side if a QoS kernel
+        would stay comfortably above its goal without it."""
+        if not self.nonqos_indices:
+            return False
+        receiver = min(self.nonqos_indices, key=self.sm_count)
+        for idx in sorted(self.qos_indices,
+                          key=lambda i: self.ipc_history[i] / self.goals[i],
+                          reverse=True):
+            sms = self.sm_count(idx)
+            if sms <= 1:
+                continue
+            predicted = self.ipc_history[idx] * (sms - 1) / sms
+            if predicted > self.goals[idx] * GIVE_BACK_MARGIN:
+                self._transfer_sm(engine, idx, receiver)
+                return True
+        return False
+
+    def _transfer_sm(self, engine: GPUSimulator, donor: int, receiver: int) -> None:
+        """Move one SM from donor to receiver (SM-granularity context switch)."""
+        sm_id = max(i for i, owner in enumerate(self.owner) if owner == donor)
+        self.owner[sm_id] = receiver
+        engine.set_tb_target(sm_id, donor, 0)
+        engine.set_tb_target(sm_id, receiver, engine.config.sm.max_tbs)
+        engine.memory.flush_l1(sm_id)
+        self.moves += 1

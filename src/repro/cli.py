@@ -1,0 +1,74 @@
+"""Command-line interface: regenerate any paper figure/table.
+
+Examples::
+
+    repro-gpu-qos list
+    repro-gpu-qos fig06a
+    repro-gpu-qos fig09 --preset fast
+    repro-gpu-qos all --preset fast -o results/
+    python -m repro fig14
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+import time
+from typing import Optional, Sequence
+
+from repro.harness.experiments import ExperimentSuite
+from repro.harness.presets import experiment_preset
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gpu-qos",
+        description="Regenerate the evaluation of 'Quality of Service Support "
+                    "for Fine-Grained Sharing on GPUs' (ISCA 2017)")
+    parser.add_argument(
+        "experiment",
+        help="experiment id (e.g. fig06a, table1, sec48_history), "
+             "'all', or 'list'")
+    parser.add_argument("--preset", default="fast",
+                        choices=("fast", "paper", "smoke"),
+                        help="experiment scale (default: fast)")
+    parser.add_argument("-o", "--output-dir", default=None,
+                        help="also write each result table to this directory")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in ExperimentSuite.EXPERIMENTS:
+            print(experiment_id)
+        return 0
+
+    suite = ExperimentSuite(experiment_preset(args.preset))
+    print(suite.preset.describe(), file=sys.stderr)
+    if args.experiment == "all":
+        experiment_ids = list(ExperimentSuite.EXPERIMENTS)
+    else:
+        experiment_ids = [args.experiment]
+
+    output_dir = pathlib.Path(args.output_dir) if args.output_dir else None
+    if output_dir:
+        output_dir.mkdir(parents=True, exist_ok=True)
+
+    for experiment_id in experiment_ids:
+        started = time.time()
+        result = suite.run(experiment_id)
+        elapsed = time.time() - started
+        print()
+        print(result.table)
+        print(f"[{experiment_id} regenerated in {elapsed:.1f}s]",
+              file=sys.stderr)
+        if output_dir:
+            path = output_dir / f"{result.experiment_id}.txt"
+            path.write_text(result.table + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,50 @@
+"""Experiment harness: regenerates every table and figure of the paper.
+
+Layout:
+
+* :mod:`repro.harness.presets` — the fast (default) and paper-scale
+  experiment presets, plus pair/trio workload enumeration.
+* :mod:`repro.harness.runner` — memoised isolated and co-run execution.
+* :mod:`repro.harness.metrics` — QoSreach, normalized throughput, overshoot,
+  miss histograms.
+* :mod:`repro.harness.experiments` — one entry point per paper figure/table.
+* :mod:`repro.harness.report` — ASCII rendering of result series.
+"""
+
+from repro.harness.presets import (
+    ExperimentPreset,
+    FAST_PRESET,
+    PAPER_PRESET,
+    experiment_preset,
+    all_pairs,
+    all_trios,
+)
+from repro.harness.runner import CaseRecord, CaseRunner, KernelOutcome
+from repro.harness.metrics import (
+    qos_reach,
+    mean_nonqos_throughput,
+    mean_qos_overshoot,
+    miss_histogram,
+    MISS_BUCKETS,
+)
+from repro.harness.report import format_table
+from repro.harness import experiments
+
+__all__ = [
+    "ExperimentPreset",
+    "FAST_PRESET",
+    "PAPER_PRESET",
+    "experiment_preset",
+    "all_pairs",
+    "all_trios",
+    "CaseRecord",
+    "CaseRunner",
+    "KernelOutcome",
+    "qos_reach",
+    "mean_nonqos_throughput",
+    "mean_qos_overshoot",
+    "miss_histogram",
+    "MISS_BUCKETS",
+    "format_table",
+    "experiments",
+]

@@ -1,0 +1,44 @@
+"""ASCII rendering of experiment results, in the layout of the paper's
+figures (one row per x-axis category, one column per scheme/series)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def _format_cell(value, width: int) -> str:
+    if value is None:
+        return "-".rjust(width)
+    if isinstance(value, float):
+        return f"{value:.3f}".rjust(width)
+    return str(value).rjust(width)
+
+
+def format_table(title: str, row_label: str, columns: Sequence[str],
+                 rows: Sequence[tuple], notes: Optional[str] = None) -> str:
+    """Render rows of (label, value, value, ...) under column headings."""
+    label_width = max([len(row_label)] + [len(str(row[0])) for row in rows]) + 2
+    widths = [max(len(col), 8) + 2 for col in columns]
+    lines = [title, "=" * len(title)]
+    header = row_label.ljust(label_width) + "".join(
+        col.rjust(width) for col, width in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        label, *values = row
+        cells = "".join(_format_cell(value, width)
+                        for value, width in zip(values, widths))
+        lines.append(str(label).ljust(label_width) + cells)
+    if notes:
+        lines.append("")
+        lines.append(notes)
+    return "\n".join(lines)
+
+
+def series_rows(x_labels: Sequence, series: Dict[str, Dict],
+                columns: Sequence[str]) -> List[tuple]:
+    """Convert {series: {x: value}} into format_table rows."""
+    rows = []
+    for x in x_labels:
+        rows.append((x,) + tuple(series[col].get(x) for col in columns))
+    return rows

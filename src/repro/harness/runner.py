@@ -1,0 +1,213 @@
+"""Memoised execution of isolated and co-run cases.
+
+Every figure consumes the same underlying (pair/trio x goal x scheme) runs,
+so :class:`CaseRunner` memoises by full case key: Figure 6, 8, 9 and 14 all
+reuse one sweep.  Isolated IPCs (the denominators of every normalisation in
+the paper) are memoised per (kernel, machine, cycles).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.baselines import SpartPolicy
+from repro.config import GPUConfig
+from repro.kernels import get_kernel, intensity_class
+from repro.power import PowerModel
+from repro.qos import QoSPolicy
+from repro.sim import GPUSimulator, LaunchedKernel, SharingPolicy
+
+#: Scheme names accepted by :meth:`CaseRunner.run_case`.
+POLICY_NAMES = ("spart", "naive", "history", "elastic", "rollover",
+                "rollover-time", "rollover-nostatic", "smk")
+
+
+def make_policy(name: str) -> SharingPolicy:
+    """Instantiate a sharing policy from its experiment name."""
+    if name == "spart":
+        return SpartPolicy()
+    if name == "smk":
+        return SharingPolicy()
+    if name == "rollover-nostatic":
+        return QoSPolicy("rollover", static_adjustment=False)
+    return QoSPolicy(name)
+
+
+@dataclass(frozen=True)
+class KernelOutcome:
+    """Per-kernel results of one co-run case."""
+
+    name: str
+    is_qos: bool
+    goal_fraction: Optional[float]
+    ipc: float
+    isolated_ipc: float
+    ipc_goal: Optional[float]
+    intensity: str
+
+    @property
+    def reached(self) -> Optional[bool]:
+        if not self.is_qos:
+            return None
+        return self.ipc >= self.ipc_goal * 0.999
+
+    @property
+    def normalized_throughput(self) -> float:
+        """IPC normalised to isolated execution (Figure 8's metric)."""
+        return self.ipc / self.isolated_ipc if self.isolated_ipc else 0.0
+
+    @property
+    def goal_ratio(self) -> Optional[float]:
+        """IPC normalised to the QoS goal (Figure 9's metric)."""
+        if self.ipc_goal is None:
+            return None
+        return self.ipc / self.ipc_goal
+
+    @property
+    def miss_percent(self) -> Optional[float]:
+        """How far below goal, in percent (None for non-QoS kernels)."""
+        if self.ipc_goal is None:
+            return None
+        return max(0.0, 100.0 * (1.0 - self.ipc / self.ipc_goal))
+
+
+@dataclass(frozen=True)
+class CaseRecord:
+    """One co-run case: workload, scheme, per-kernel outcomes, energy."""
+
+    kernels: Tuple[KernelOutcome, ...]
+    policy: str
+    cycles: int
+    evictions: int
+    eviction_stall_cycles: int
+    power_w: float
+    instructions_per_watt: float
+
+    @property
+    def qos_met(self) -> bool:
+        """A case succeeds when every QoS kernel reached its goal."""
+        return all(k.reached for k in self.kernels if k.is_qos)
+
+    @property
+    def qos_kernels(self) -> Tuple[KernelOutcome, ...]:
+        return tuple(k for k in self.kernels if k.is_qos)
+
+    @property
+    def nonqos_kernels(self) -> Tuple[KernelOutcome, ...]:
+        return tuple(k for k in self.kernels if not k.is_qos)
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(k.ipc for k in self.kernels)
+
+
+class CaseRunner:
+    """Runs and memoises isolated and co-run simulations.
+
+    Every run discards a warm-up window (``warmup_cycles``, default two
+    epochs) before measurement starts, so the TB-dispatch ramp and cold
+    caches do not bias IPCs at short simulation windows.  The paper's
+    2M-cycle runs amortise the same ramp to nothing.
+    """
+
+    def __init__(self, gpu: GPUConfig, cycles: int,
+                 warmup_cycles: Optional[int] = None):
+        self.gpu = gpu
+        self.cycles = cycles
+        if warmup_cycles is None:
+            warmup_cycles = 2 * gpu.epoch_length
+        self.warmup_cycles = warmup_cycles
+        self._isolated: Dict[str, float] = {}
+        self._cases: Dict[tuple, CaseRecord] = {}
+        self._power = PowerModel(gpu)
+
+    # ------------------------------------------------------------- isolated
+
+    def isolated_ipc(self, name: str) -> float:
+        """IPC of a kernel running alone on this machine (memoised)."""
+        if name not in self._isolated:
+            sim = GPUSimulator(self.gpu, [LaunchedKernel(get_kernel(name))])
+            sim.run(self.warmup_cycles)
+            sim.mark_measurement_start()
+            sim.run(self.cycles)
+            self._isolated[name] = sim.result().kernels[0].ipc
+        return self._isolated[name]
+
+    # --------------------------------------------------------------- co-run
+
+    def run_case(self, names: Sequence[str], qos_flags: Sequence[bool],
+                 goal_fractions: Sequence[Optional[float]],
+                 policy: str) -> CaseRecord:
+        """Run one co-run case (memoised by its full key).
+
+        ``goal_fractions`` are per-kernel fractions of isolated IPC; entries
+        for non-QoS kernels are ignored and may be None.
+        """
+        key = (tuple(names), tuple(qos_flags),
+               tuple(goal_fractions), policy)
+        if key in self._cases:
+            return self._cases[key]
+
+        launches = []
+        goals = []
+        for name, is_qos, fraction in zip(names, qos_flags, goal_fractions):
+            if is_qos:
+                goal = fraction * self.isolated_ipc(name)
+                launches.append(LaunchedKernel(get_kernel(name), is_qos=True,
+                                               ipc_goal=goal))
+            else:
+                goal = None
+                launches.append(LaunchedKernel(get_kernel(name)))
+            goals.append(goal)
+
+        sim = GPUSimulator(self.gpu, launches, make_policy(policy))
+        sim.run(self.warmup_cycles)
+        sim.mark_measurement_start()
+        sim.run(self.cycles)
+        result = sim.result()
+
+        outcomes = []
+        for launch, kernel_result, goal, fraction in zip(
+                launches, result.kernels, goals, goal_fractions):
+            outcomes.append(KernelOutcome(
+                name=kernel_result.name,
+                is_qos=launch.is_qos,
+                goal_fraction=fraction if launch.is_qos else None,
+                ipc=kernel_result.ipc,
+                isolated_ipc=self.isolated_ipc(kernel_result.name),
+                ipc_goal=goal,
+                intensity=intensity_class(kernel_result.name),
+            ))
+        power_w = self._power.average_power_w(result)
+        record = CaseRecord(
+            kernels=tuple(outcomes),
+            policy=policy,
+            cycles=result.cycles,
+            evictions=result.evictions,
+            eviction_stall_cycles=result.eviction_stall_cycles,
+            power_w=power_w,
+            instructions_per_watt=self._power.instructions_per_watt(result),
+        )
+        self._cases[key] = record
+        return record
+
+    # ---------------------------------------------------------- conveniences
+
+    def run_pair(self, qos: str, nonqos: str, goal: float,
+                 policy: str) -> CaseRecord:
+        return self.run_case((qos, nonqos), (True, False), (goal, None), policy)
+
+    def run_trio(self, names: Sequence[str], qos_count: int, goal: float,
+                 policy: str) -> CaseRecord:
+        """Run a trio with the first ``qos_count`` kernels as QoS kernels,
+        all sharing the same goal fraction (the paper's trio protocol)."""
+        if not 1 <= qos_count < len(names):
+            raise ValueError("qos_count must leave at least one non-QoS kernel")
+        flags = tuple(i < qos_count for i in range(len(names)))
+        fractions = tuple(goal if flag else None for flag in flags)
+        return self.run_case(tuple(names), flags, fractions, policy)
+
+    @property
+    def cached_cases(self) -> int:
+        return len(self._cases)

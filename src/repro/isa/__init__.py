@@ -1,0 +1,26 @@
+"""A minimal SIMT instruction-set abstraction.
+
+The simulator does not interpret real machine code; kernels are modelled as
+streams of *warp instructions*, each tagged with an operation class that
+determines its issue behaviour and latency (see
+:class:`repro.config.LatencyConfig`).  This is the same level of abstraction
+at which the paper's mechanisms operate: quotas count retired thread
+instructions, and the warp scheduler only needs to know whether a warp is
+ready and which kernel it belongs to.
+"""
+
+from repro.isa.instructions import (
+    Opcode,
+    WarpInstruction,
+    COMPUTE_OPCODES,
+    MEMORY_OPCODES,
+    is_global_memory,
+)
+
+__all__ = [
+    "Opcode",
+    "WarpInstruction",
+    "COMPUTE_OPCODES",
+    "MEMORY_OPCODES",
+    "is_global_memory",
+]

@@ -1,0 +1,65 @@
+"""Warp-level instruction descriptors.
+
+Six operation classes cover everything the QoS mechanisms can observe:
+
+``ALU``
+    Integer/FP pipelined arithmetic.  Back-to-back independent ALU work
+    issues every cycle; a dependent instruction waits the ALU latency.
+``SFU``
+    Special-function / transcendental work (long, unpipelined-ish).
+``LDG`` / ``STG``
+    Global memory loads and stores.  Loads stall the issuing warp until the
+    memory subsystem returns; stores retire immediately but consume
+    memory-controller bandwidth.
+``LDS``
+    Shared-memory (scratchpad) access, fixed on-chip latency.
+``BAR``
+    TB-wide barrier: the warp parks until every warp of the TB arrives.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Opcode(enum.IntEnum):
+    ALU = 0
+    SFU = 1
+    LDG = 2
+    STG = 3
+    LDS = 4
+    BAR = 5
+
+
+COMPUTE_OPCODES = frozenset({Opcode.ALU, Opcode.SFU})
+MEMORY_OPCODES = frozenset({Opcode.LDG, Opcode.STG, Opcode.LDS})
+
+
+def is_global_memory(op: Opcode) -> bool:
+    """True for operations that travel through L1 and the interconnect."""
+    return op is Opcode.LDG or op is Opcode.STG
+
+
+@dataclass(frozen=True)
+class WarpInstruction:
+    """One warp-wide instruction slot in a kernel's instruction pattern.
+
+    ``active_lanes`` models branch divergence: quotas are decremented by the
+    number of lanes that actually execute (Section 3.4.1: "decremented by the
+    number of instructions that are actually executed in the warp instruction
+    (<= 32 due to branch divergence)").
+
+    ``dependent`` marks whether this instruction consumes the previous
+    instruction's result: a dependent ALU op waits the full ALU latency while
+    an independent one issues the next cycle.  Kernel specs use this to model
+    ILP without simulating registers.
+    """
+
+    opcode: Opcode
+    active_lanes: int = 32
+    dependent: bool = True
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.active_lanes <= 32:
+            raise ValueError("active_lanes must be in [1, 32]")

@@ -1,0 +1,42 @@
+"""Synthetic workload models standing in for the Parboil benchmark suite.
+
+The paper drives its evaluation with 10 Parboil benchmarks compiled to real
+GPU binaries.  Reproducing that requires a SASS/PTX front end; instead each
+benchmark is modelled as a :class:`KernelSpec` — TB geometry, per-thread
+static resources, an instruction mix, an ILP/divergence profile and a global
+memory access pattern — calibrated so that its architectural behaviour
+(compute- vs memory-bound, TLP sensitivity, cache footprint) matches the
+published characterisation.  The QoS mechanisms under study observe only this
+architectural behaviour, so the substitution preserves the phenomena the
+paper measures (see DESIGN.md).
+"""
+
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.kernels.trace import WarpProgram, build_pattern
+from repro.kernels.fusion import fuse_kernels, fused_share
+from repro.kernels.parboil import (
+    PARBOIL,
+    PARBOIL_NAMES,
+    COMPUTE_INTENSIVE,
+    MEMORY_INTENSIVE,
+    get_kernel,
+    intensity_class,
+    pair_class,
+)
+
+__all__ = [
+    "InstructionMix",
+    "KernelSpec",
+    "MemoryPattern",
+    "WarpProgram",
+    "build_pattern",
+    "fuse_kernels",
+    "fused_share",
+    "PARBOIL",
+    "PARBOIL_NAMES",
+    "COMPUTE_INTENSIVE",
+    "MEMORY_INTENSIVE",
+    "get_kernel",
+    "intensity_class",
+    "pair_class",
+]

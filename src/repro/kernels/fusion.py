@@ -1,0 +1,94 @@
+"""Kernel fusion: the software sharing baseline (Section 2.3, type 2).
+
+Kernel fusion / KernelMerge [39, 13, 30] statically compiles two kernels
+into one, interleaving their code behind a thread-id branch so both are
+resident in each SM.  Section 2.3 names its limitation: "hardware
+recognizes multiple kernels as one kernel, and hence, it cannot control the
+execution progress of each kernel.  Therefore, performance of particular
+kernels and QoS cannot be guaranteed."
+
+:func:`fuse_kernels` performs the analogous transformation on two
+:class:`~repro.kernels.KernelSpec` models: the fused kernel's TBs carry a
+thread-ratio blend of both mixes and the union of their static resource
+demands.  Because the result *is one kernel*, the simulator's QoS machinery
+sees a single progress counter — exactly the baseline's blindness.  The
+per-kernel share of the fused kernel's retirement can only be estimated
+post hoc with :func:`fused_share`, and nothing can steer it.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+
+
+def _blend(first: float, second: float, weight: float) -> float:
+    return first * weight + second * (1.0 - weight)
+
+
+def fuse_kernels(first: KernelSpec, second: KernelSpec,
+                 thread_ratio: float = 0.5,
+                 name: str = None) -> KernelSpec:
+    """Statically fuse two kernel models into one.
+
+    ``thread_ratio`` is the fraction of each fused TB's threads executing
+    ``first``'s code (the KernelMerge-style static split, fixed at compile
+    time — the reason dynamically arriving kernels cannot be serviced).
+    The fused TB is sized to the larger of the two TBs; per-thread register
+    demand is the max (the compiler must allocate for the hungrier path —
+    fusion's well-known register-pressure cost) and shared memory is the
+    sum (both kernels' buffers coexist).
+    """
+    if not 0.0 < thread_ratio < 1.0:
+        raise ValueError("thread_ratio must be in (0, 1)")
+    weight = thread_ratio
+    mix = InstructionMix(
+        alu=_blend(first.mix.alu, second.mix.alu, weight),
+        sfu=_blend(first.mix.sfu, second.mix.sfu, weight),
+        ldg=_blend(first.mix.ldg, second.mix.ldg, weight),
+        stg=_blend(first.mix.stg, second.mix.stg, weight),
+        lds=_blend(first.mix.lds, second.mix.lds, weight),
+        barrier_per_iteration=(first.mix.barrier_per_iteration
+                               or second.mix.barrier_per_iteration),
+    )
+    memory = MemoryPattern(
+        footprint_bytes=(first.memory.footprint_bytes
+                         + second.memory.footprint_bytes),
+        coalesced_fraction=_blend(first.memory.coalesced_fraction,
+                                  second.memory.coalesced_fraction, weight),
+        uncoalesced_degree=max(first.memory.uncoalesced_degree,
+                               second.memory.uncoalesced_degree),
+        reuse_fraction=_blend(first.memory.reuse_fraction,
+                              second.memory.reuse_fraction, weight),
+    )
+    intensity = "memory" if ("memory" in (first.intensity, second.intensity)
+                             and mix.ldg + mix.stg >= 0.25) else (
+        first.intensity if weight >= 0.5 else second.intensity)
+    return KernelSpec(
+        name=name or f"fused-{first.name}+{second.name}",
+        threads_per_tb=max(first.threads_per_tb, second.threads_per_tb),
+        regs_per_thread=max(first.regs_per_thread, second.regs_per_thread),
+        smem_per_tb_bytes=first.smem_per_tb_bytes + second.smem_per_tb_bytes,
+        mix=mix,
+        memory=memory,
+        ilp=_blend(first.ilp, second.ilp, weight),
+        divergence=min(1.0, _blend(first.divergence, second.divergence,
+                                   weight) + 0.05),  # the tid branch itself
+        body_length=max(first.body_length, second.body_length),
+        iterations_per_tb=max(first.iterations_per_tb,
+                              second.iterations_per_tb),
+        intensity=intensity,
+    )
+
+
+def fused_share(fused_ipc: float, thread_ratio: float) -> Tuple[float, float]:
+    """Post-hoc estimate of each constituent's share of fused progress.
+
+    All the software baseline can do: assume retirement splits by the
+    static thread ratio.  There is no mechanism to *make* it so — which is
+    the point of the comparison.
+    """
+    if fused_ipc < 0:
+        raise ValueError("IPC cannot be negative")
+    return fused_ipc * thread_ratio, fused_ipc * (1.0 - thread_ratio)

@@ -1,0 +1,140 @@
+"""Kernel descriptions: the static facts the TB scheduler and SMs need.
+
+A :class:`KernelSpec` is everything the hardware can know about a kernel at
+launch time (Section 2.2): the per-thread resource demand determined by the
+compiler, the TB geometry chosen by the programmer, and — for our synthetic
+workloads — a behavioural profile from which per-warp instruction streams are
+generated deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+REGISTER_BYTES = 4  # one architectural register
+
+
+@dataclass(frozen=True)
+class InstructionMix:
+    """Fractions of each operation class in the kernel's loop body.
+
+    Fractions must sum to 1.  ``barrier_per_iteration`` adds one TB-wide
+    barrier at the end of each loop body on top of the mix.
+    """
+
+    alu: float = 0.6
+    sfu: float = 0.0
+    ldg: float = 0.25
+    stg: float = 0.05
+    lds: float = 0.1
+    barrier_per_iteration: bool = False
+
+    def __post_init__(self) -> None:
+        total = self.alu + self.sfu + self.ldg + self.stg + self.lds
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"instruction mix must sum to 1, got {total}")
+        for name in ("alu", "sfu", "ldg", "stg", "lds"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"negative fraction for {name}")
+
+
+@dataclass(frozen=True)
+class MemoryPattern:
+    """Global memory behaviour of a kernel.
+
+    ``footprint_bytes``
+        Size of the region the kernel streams over; small footprints cache
+        well in L2, large ones stress DRAM bandwidth.
+    ``coalesced_fraction``
+        Probability that a warp load/store coalesces into a single line-sized
+        request; the remainder fans out into ``uncoalesced_degree`` requests.
+    ``reuse_fraction``
+        Probability that an access re-reads a recently touched line instead
+        of advancing the stream — models intra-kernel locality and gives the
+        L1 something to do.
+    """
+
+    footprint_bytes: int = 64 * 1024 * 1024
+    coalesced_fraction: float = 1.0
+    uncoalesced_degree: int = 8
+    reuse_fraction: float = 0.2
+
+    def __post_init__(self) -> None:
+        if self.footprint_bytes <= 0:
+            raise ValueError("footprint_bytes must be positive")
+        if not 0.0 <= self.coalesced_fraction <= 1.0:
+            raise ValueError("coalesced_fraction must be in [0, 1]")
+        if not 0.0 <= self.reuse_fraction <= 1.0:
+            raise ValueError("reuse_fraction must be in [0, 1]")
+        if self.uncoalesced_degree < 1:
+            raise ValueError("uncoalesced_degree must be >= 1")
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """A launchable kernel: geometry, static resources, behavioural profile."""
+
+    name: str
+    threads_per_tb: int = 256
+    regs_per_thread: int = 32
+    smem_per_tb_bytes: int = 0
+    mix: InstructionMix = field(default_factory=InstructionMix)
+    memory: MemoryPattern = field(default_factory=MemoryPattern)
+    ilp: float = 0.5
+    divergence: float = 0.0
+    body_length: int = 96
+    iterations_per_tb: int = 24
+    intensity: str = "compute"
+
+    def __post_init__(self) -> None:
+        if self.threads_per_tb <= 0 or self.threads_per_tb % 32 != 0:
+            raise ValueError("threads_per_tb must be a positive multiple of 32")
+        if self.regs_per_thread <= 0:
+            raise ValueError("regs_per_thread must be positive")
+        if self.smem_per_tb_bytes < 0:
+            raise ValueError("smem_per_tb_bytes must be non-negative")
+        if not 0.0 <= self.ilp <= 1.0:
+            raise ValueError("ilp must be in [0, 1]")
+        if not 0.0 <= self.divergence <= 1.0:
+            raise ValueError("divergence must be in [0, 1]")
+        if self.body_length <= 0 or self.iterations_per_tb <= 0:
+            raise ValueError("body_length and iterations_per_tb must be positive")
+        if self.intensity not in ("compute", "memory"):
+            raise ValueError("intensity must be 'compute' or 'memory'")
+
+    @property
+    def warps_per_tb(self) -> int:
+        return self.threads_per_tb // 32
+
+    @property
+    def regs_per_tb_bytes(self) -> int:
+        return self.regs_per_thread * REGISTER_BYTES * self.threads_per_tb
+
+    @property
+    def context_bytes(self) -> int:
+        """Bytes a partial context switch must save for one TB."""
+        return self.regs_per_tb_bytes + self.smem_per_tb_bytes
+
+    def resource_vector(self) -> dict:
+        """Per-TB demand against the four SM admission limits."""
+        return {
+            "registers_bytes": self.regs_per_tb_bytes,
+            "shared_memory_bytes": self.smem_per_tb_bytes,
+            "threads": self.threads_per_tb,
+            "tbs": 1,
+        }
+
+    def max_tbs_per_sm(self, sm_config) -> int:
+        """How many of this kernel's TBs one SM can host in isolation.
+
+        Mirrors the admission rule of Section 2.2: take TBs until one of the
+        four resources (registers, shared memory, threads, TB slots) runs out.
+        """
+        limits = [
+            sm_config.registers_bytes // self.regs_per_tb_bytes,
+            sm_config.max_threads // self.threads_per_tb,
+            sm_config.max_tbs,
+        ]
+        if self.smem_per_tb_bytes > 0:
+            limits.append(sm_config.shared_memory_bytes // self.smem_per_tb_bytes)
+        return max(0, min(limits))

@@ -1,0 +1,146 @@
+"""Parameterised synthetic workload generators.
+
+Beyond the Parboil models, these build kernels from first principles for
+calibration, tests, and sensitivity studies:
+
+* :func:`compute_kernel` — issue-bound ALU/SFU work with tunable ILP;
+* :func:`streaming_kernel` — bandwidth-bound sequential access;
+* :func:`irregular_kernel` — gather/scatter with uncoalesced fan-out;
+* :func:`cache_resident_kernel` — a working set sized to a cache level;
+* :func:`barrier_kernel` — tightly synchronised shared-memory phases;
+* :func:`microbenchmark_suite` — one of each, for sweep-style studies.
+
+All generators return ordinary :class:`~repro.kernels.KernelSpec` objects,
+so everything in the library (policies, harness, power model) works on them
+unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+
+MB = 1024 * 1024
+
+
+def compute_kernel(name: str = "syn-compute", *, ilp: float = 0.8,
+                   sfu_fraction: float = 0.1,
+                   threads_per_tb: int = 128,
+                   regs_per_thread: int = 32) -> KernelSpec:
+    """An issue-bound kernel: tiny footprint, high reuse, mostly ALU."""
+    alu = 0.92 - sfu_fraction
+    return KernelSpec(
+        name=name,
+        threads_per_tb=threads_per_tb,
+        regs_per_thread=regs_per_thread,
+        mix=InstructionMix(alu=alu, sfu=sfu_fraction, ldg=0.04, stg=0.02,
+                           lds=0.02),
+        memory=MemoryPattern(footprint_bytes=2 * MB, coalesced_fraction=1.0,
+                             reuse_fraction=0.9),
+        ilp=ilp,
+        body_length=96,
+        iterations_per_tb=4,
+        intensity="compute",
+    )
+
+
+def streaming_kernel(name: str = "syn-stream", *,
+                     footprint_mb: int = 256,
+                     store_fraction: float = 0.15,
+                     threads_per_tb: int = 128) -> KernelSpec:
+    """A bandwidth-bound kernel: perfectly coalesced sequential sweep."""
+    if not 0.0 <= store_fraction <= 0.4:
+        raise ValueError("store_fraction must be in [0, 0.4]")
+    ldg = 0.45 - store_fraction / 2
+    return KernelSpec(
+        name=name,
+        threads_per_tb=threads_per_tb,
+        regs_per_thread=24,
+        mix=InstructionMix(alu=1.0 - ldg - store_fraction, sfu=0.0,
+                           ldg=ldg, stg=store_fraction, lds=0.0),
+        memory=MemoryPattern(footprint_bytes=footprint_mb * MB,
+                             coalesced_fraction=1.0, reuse_fraction=0.02),
+        ilp=0.4,
+        body_length=64,
+        iterations_per_tb=2,
+        intensity="memory",
+    )
+
+
+def irregular_kernel(name: str = "syn-gather", *,
+                     fanout: int = 8,
+                     footprint_mb: int = 128) -> KernelSpec:
+    """A gather/scatter kernel: mostly uncoalesced random access."""
+    if fanout < 1:
+        raise ValueError("fanout must be >= 1")
+    return KernelSpec(
+        name=name,
+        threads_per_tb=192,
+        regs_per_thread=24,
+        mix=InstructionMix(alu=0.45, sfu=0.0, ldg=0.42, stg=0.08, lds=0.05),
+        memory=MemoryPattern(footprint_bytes=footprint_mb * MB,
+                             coalesced_fraction=0.15,
+                             uncoalesced_degree=fanout,
+                             reuse_fraction=0.05),
+        ilp=0.3,
+        divergence=0.25,
+        body_length=64,
+        iterations_per_tb=2,
+        intensity="memory",
+    )
+
+
+def cache_resident_kernel(name: str = "syn-cached", *,
+                          working_set_kb: int = 256) -> KernelSpec:
+    """A kernel whose working set targets a specific cache capacity.
+
+    Size it under the L2 slice to make an L2-resident workload, or under
+    the L1 to make an L1-resident one — useful for isolating where
+    co-runner interference happens.
+    """
+    if working_set_kb <= 0:
+        raise ValueError("working_set_kb must be positive")
+    return KernelSpec(
+        name=name,
+        threads_per_tb=128,
+        regs_per_thread=28,
+        mix=InstructionMix(alu=0.55, sfu=0.0, ldg=0.35, stg=0.05, lds=0.05),
+        memory=MemoryPattern(footprint_bytes=working_set_kb * 1024,
+                             coalesced_fraction=1.0, reuse_fraction=0.3),
+        ilp=0.5,
+        body_length=72,
+        iterations_per_tb=3,
+        intensity="memory" if working_set_kb > 512 else "compute",
+    )
+
+
+def barrier_kernel(name: str = "syn-barrier", *,
+                   threads_per_tb: int = 256,
+                   smem_kb: int = 16) -> KernelSpec:
+    """A phase-synchronised kernel: shared-memory staging + TB barriers."""
+    return KernelSpec(
+        name=name,
+        threads_per_tb=threads_per_tb,
+        regs_per_thread=32,
+        smem_per_tb_bytes=smem_kb * 1024,
+        mix=InstructionMix(alu=0.6, sfu=0.0, ldg=0.08, stg=0.02, lds=0.3,
+                           barrier_per_iteration=True),
+        memory=MemoryPattern(footprint_bytes=8 * MB, coalesced_fraction=0.9,
+                             reuse_fraction=0.5),
+        ilp=0.6,
+        body_length=80,
+        iterations_per_tb=4,
+        intensity="compute",
+    )
+
+
+def microbenchmark_suite() -> Dict[str, KernelSpec]:
+    """One kernel of each archetype, keyed by archetype name."""
+    return {
+        "compute": compute_kernel(),
+        "streaming": streaming_kernel(),
+        "irregular": irregular_kernel(),
+        "cache-resident": cache_resident_kernel(),
+        "barrier": barrier_kernel(),
+    }

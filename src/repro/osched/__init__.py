@@ -1,0 +1,35 @@
+"""OS-resident kernel scheduling over the QoS-managed GPU (Section 3.2).
+
+The paper's mechanisms live inside the GPU; this package is the software
+above them: applications submit *periodic jobs* (e.g. one kernel per video
+frame) with deadlines, the dispatcher translates each deadline into an IPC
+goal (accounting for PCIe transfers and queueing), launches everything onto
+one simulated GPU under the chosen QoS policy, and reports per-application
+deadline attainment.
+
+Section 3.2's claim — "our design fills in this gap to control how sharer
+kernels should use the resources within the GPU... which increases the
+likelihood of meeting QoS goals even if a kernel has a late start" — is
+directly measurable here as frame-drop rates.
+"""
+
+from repro.osched.dispatcher import (
+    Application,
+    ApplicationReport,
+    GPUServer,
+    ServerReport,
+)
+from repro.osched.predictor import DemandEstimate, OnlineDemandPredictor
+from repro.osched.cluster import ClusterReport, ClusterScheduler, GPUSlot
+
+__all__ = [
+    "Application",
+    "ApplicationReport",
+    "GPUServer",
+    "ServerReport",
+    "DemandEstimate",
+    "OnlineDemandPredictor",
+    "ClusterReport",
+    "ClusterScheduler",
+    "GPUSlot",
+]

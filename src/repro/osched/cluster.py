@@ -1,0 +1,153 @@
+"""Cluster-level placement over QoS-managed GPUs (the Mystic/Baymax layer).
+
+Section 5: "Baymax manages QoS by predicting the execution time of a
+kernel... Mystic used machine learning to predict whether kernels can share
+a GPU efficiently, and distribute kernels in a cluster.  All those designs
+are orthogonal to our work.  They can utilize our proposed mechanism to
+have more control on the execution of kernels."
+
+This module is that orthogonal layer, utilising our mechanism: a
+:class:`ClusterScheduler` places applications onto a fleet of simulated
+GPUs, using interference-aware scoring (don't stack bandwidth-saturating
+kernels; keep headroom for QoS demands), then validates each GPU's
+co-schedule by actually running it under the paper's Rollover policy via
+:class:`~repro.osched.GPUServer`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.kernels import intensity_class
+from repro.osched.dispatcher import Application, GPUServer, ServerReport
+from repro.qos import TransferModel
+
+#: Scoring weights: stacking two memory-intensive tenants on one GPU is the
+#: dominant interference risk (the paper's M+M class), QoS demand second.
+MEMORY_STACK_PENALTY = 10.0
+QOS_LOAD_PENALTY = 4.0
+TENANT_PENALTY = 1.0
+
+
+@dataclass
+class GPUSlot:
+    """One GPU of the fleet and the tenants placed on it."""
+
+    index: int
+    gpu: GPUConfig
+    tenants: List[Application] = field(default_factory=list)
+
+    def memory_tenants(self) -> int:
+        return sum(1 for app in self.tenants
+                   if self._intensity(app) == "M")
+
+    def qos_demand(self) -> float:
+        """Sum of tenants' goal fractions of machine peak (rough load)."""
+        peak = (self.gpu.num_sms * self.gpu.sm.warp_schedulers
+                * self.gpu.sm.warp_size)
+        demand = 0.0
+        for app in self.tenants:
+            if not app.qos:
+                continue
+            frequency_hz = self.gpu.core_freq_mhz * 1e6
+            ipc_needed = app.instructions_per_job / (frequency_hz
+                                                     * app.period_s)
+            demand += ipc_needed / peak
+        return demand
+
+    @staticmethod
+    def _intensity(app: Application) -> str:
+        spec = app.spec
+        try:
+            return intensity_class(spec.name)
+        except ValueError:
+            return "M" if spec.intensity == "memory" else "C"
+
+    def placement_score(self, app: Application) -> float:
+        """Lower is better: predicted interference if ``app`` lands here."""
+        score = TENANT_PENALTY * len(self.tenants)
+        if self._intensity(app) == "M":
+            score += MEMORY_STACK_PENALTY * self.memory_tenants()
+        if app.qos:
+            score += QOS_LOAD_PENALTY * self.qos_demand()
+        return score
+
+
+@dataclass
+class ClusterReport:
+    """Placement plus per-GPU validation results."""
+
+    placements: Dict[str, int]
+    gpu_reports: List[Optional[ServerReport]]
+
+    def gpu_of(self, app_name: str) -> int:
+        return self.placements[app_name]
+
+    @property
+    def total_drops(self) -> int:
+        total = 0
+        for report in self.gpu_reports:
+            if report is None:
+                continue
+            total += sum(app.jobs_dropped for app in report.applications)
+        return total
+
+    @property
+    def qos_drops(self) -> int:
+        """Dropped jobs of QoS tenants only — the fleet's SLO violations."""
+        total = 0
+        for report in self.gpu_reports:
+            if report is None:
+                continue
+            total += sum(app.jobs_dropped for app in report.applications
+                         if app.qos)
+        return total
+
+
+class ClusterScheduler:
+    """Greedy interference-aware placement over a homogeneous fleet."""
+
+    def __init__(self, gpus: List[GPUConfig],
+                 transfers: TransferModel = TransferModel(),
+                 scheme: str = "rollover"):
+        if not gpus:
+            raise ValueError("fleet must contain at least one GPU")
+        self.slots = [GPUSlot(index, gpu) for index, gpu in enumerate(gpus)]
+        self.transfers = transfers
+        self.scheme = scheme
+
+    def place(self, applications: List[Application]) -> Dict[str, int]:
+        """Assign each application to the least-interfering GPU.
+
+        QoS applications are placed first (largest demand first) so
+        best-effort tenants fill around them, mirroring Baymax's
+        reservation order.
+        """
+        ordered = sorted(
+            applications,
+            key=lambda app: (not app.qos,
+                             -app.instructions_per_job / app.period_s))
+        placements: Dict[str, int] = {}
+        for app in ordered:
+            slot = min(self.slots, key=lambda s: s.placement_score(app))
+            slot.tenants.append(app)
+            placements[app.name] = slot.index
+        return placements
+
+    def run(self, applications: List[Application],
+            seconds: float) -> ClusterReport:
+        """Place and validate: simulate every occupied GPU under QoS."""
+        placements = self.place(applications)
+        reports: List[Optional[ServerReport]] = []
+        for slot in self.slots:
+            if not slot.tenants:
+                reports.append(None)
+                continue
+            server = GPUServer(slot.gpu, transfers=self.transfers,
+                               scheme=self.scheme)
+            for app in slot.tenants:
+                server.submit(app)
+            reports.append(server.run(seconds))
+        return ClusterReport(placements=placements, gpu_reports=reports)

@@ -1,0 +1,220 @@
+"""The GPU server: periodic applications, deadlines, and drop accounting.
+
+An :class:`Application` is a repeatedly launched kernel — the paper's
+datacenter model ("QoS kernels are repeatedly executing datacenter-scale
+workloads, and their performance and execution length can be predicted").
+Each submission period, one *job* of ``instructions_per_job`` thread
+instructions must finish within the period, or it counts as dropped (a
+missed frame).
+
+:class:`GPUServer` co-schedules every submitted application on one
+simulated GPU.  QoS applications get an IPC goal from
+:func:`repro.qos.translate_qos_goal`; best-effort applications run on
+leftover resources.  Progress is sampled each epoch, and job completion
+times are recovered from the per-application retirement timeline by linear
+interpolation within epochs.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple, Union
+
+from repro.config import GPUConfig
+from repro.kernels import get_kernel
+from repro.kernels.spec import KernelSpec
+from repro.qos import QoSPolicy, QoSRequirement, TransferModel, translate_qos_goal
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+@dataclass(frozen=True)
+class Application:
+    """A periodic GPU workload with an optional deadline."""
+
+    name: str
+    kernel: Union[str, KernelSpec]
+    period_s: float
+    instructions_per_job: int
+    qos: bool = True
+    input_bytes: int = 0
+    output_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ValueError("period must be positive")
+        if self.instructions_per_job <= 0:
+            raise ValueError("instructions_per_job must be positive")
+
+    @property
+    def spec(self) -> KernelSpec:
+        if isinstance(self.kernel, KernelSpec):
+            return self.kernel
+        return get_kernel(self.kernel)
+
+    def requirement(self) -> QoSRequirement:
+        return QoSRequirement(deadline_s=self.period_s,
+                              instructions=self.instructions_per_job,
+                              input_bytes=self.input_bytes,
+                              output_bytes=self.output_bytes)
+
+
+@dataclass
+class ApplicationReport:
+    """Deadline attainment for one application over the simulated window."""
+
+    name: str
+    qos: bool
+    ipc_goal: Optional[float]
+    achieved_ipc: float
+    jobs_completed: int
+    jobs_due: int
+    jobs_dropped: int
+    completion_times_s: List[float] = field(repr=False, default_factory=list)
+
+    @property
+    def drop_rate(self) -> float:
+        if self.jobs_due == 0:
+            return 0.0
+        return self.jobs_dropped / self.jobs_due
+
+
+@dataclass
+class ServerReport:
+    """Outcome of one server run."""
+
+    simulated_seconds: float
+    applications: List[ApplicationReport]
+
+    def app(self, name: str) -> ApplicationReport:
+        for report in self.applications:
+            if report.name == name:
+                return report
+        raise KeyError(name)
+
+
+class _TimelinePolicy(QoSPolicy):
+    """QoSPolicy that additionally records per-epoch retirement timelines."""
+
+    def __init__(self, scheme: str):
+        super().__init__(scheme)
+        self.timeline: List[Tuple[int, Tuple[int, ...]]] = []
+
+    def on_epoch_start(self, engine, cycle, epoch_index):
+        self.timeline.append((cycle, tuple(
+            stats.retired_thread_insts for stats in engine.kernel_stats)))
+        super().on_epoch_start(engine, cycle, epoch_index)
+
+
+class GPUServer:
+    """Co-schedules periodic applications on one QoS-managed GPU."""
+
+    def __init__(self, gpu: GPUConfig,
+                 transfers: TransferModel = TransferModel(),
+                 scheme: str = "rollover"):
+        self.gpu = gpu
+        self.transfers = transfers
+        self.scheme = scheme
+        self.applications: List[Application] = []
+
+    def submit(self, application: Application) -> None:
+        if any(app.name == application.name for app in self.applications):
+            raise ValueError(f"application {application.name!r} already submitted")
+        if any(app.spec.name == application.spec.name
+               for app in self.applications):
+            raise ValueError(
+                f"kernel {application.spec.name!r} already in use; give the "
+                "application a distinct KernelSpec")
+        self.applications.append(application)
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, seconds: float) -> ServerReport:
+        """Simulate ``seconds`` of wall-clock time and score every deadline."""
+        if not self.applications:
+            raise ValueError("no applications submitted")
+        if seconds <= 0:
+            raise ValueError("seconds must be positive")
+        frequency_hz = self.gpu.core_freq_mhz * 1e6
+        cycles = int(seconds * frequency_hz)
+
+        launches = []
+        goals: List[Optional[float]] = []
+        for app in self.applications:
+            if app.qos:
+                goal = translate_qos_goal(app.requirement(),
+                                          self.gpu.core_freq_mhz,
+                                          self.transfers)
+                launches.append(LaunchedKernel(app.spec, is_qos=True,
+                                               ipc_goal=goal))
+            else:
+                goal = None
+                launches.append(LaunchedKernel(app.spec))
+            goals.append(goal)
+
+        policy = _TimelinePolicy(self.scheme)
+        simulator = GPUSimulator(self.gpu, launches, policy)
+        simulator.run(cycles)
+        # Final timeline point so the last partial epoch is scored too.
+        policy.timeline.append((simulator.cycle, tuple(
+            stats.retired_thread_insts for stats in simulator.kernel_stats)))
+
+        reports = []
+        for idx, app in enumerate(self.applications):
+            reports.append(self._score(app, idx, goals[idx], policy.timeline,
+                                       frequency_hz, seconds))
+        return ServerReport(simulated_seconds=seconds, applications=reports)
+
+    # -------------------------------------------------------------- scoring
+
+    def _score(self, app: Application, kernel_idx: int,
+               goal: Optional[float], timeline, frequency_hz: float,
+               seconds: float) -> ApplicationReport:
+        cycles_points = [point[0] for point in timeline]
+        retired_points = [point[1][kernel_idx] for point in timeline]
+        total_retired = retired_points[-1]
+        total_cycles = max(1, cycles_points[-1])
+
+        transfer_s = (self.transfers.transfer_time_s(app.input_bytes)
+                      + self.transfers.transfer_time_s(app.output_bytes))
+        jobs_due = int(seconds / app.period_s)
+        completions: List[float] = []
+        dropped = 0
+        for job in range(jobs_due):
+            needed = (job + 1) * app.instructions_per_job
+            finish_cycle = _cycle_reaching(cycles_points, retired_points,
+                                           needed)
+            if finish_cycle is None:
+                dropped += jobs_due - job
+                break
+            finish_s = finish_cycle / frequency_hz + (job + 1) * transfer_s
+            completions.append(finish_s)
+            # Periodic deadline: job j must be done by the end of period j.
+            if finish_s > (job + 1) * app.period_s:
+                dropped += 1
+        return ApplicationReport(
+            name=app.name,
+            qos=app.qos,
+            ipc_goal=goal,
+            achieved_ipc=total_retired / total_cycles,
+            jobs_completed=len(completions),
+            jobs_due=jobs_due,
+            jobs_dropped=dropped,
+            completion_times_s=completions,
+        )
+
+
+def _cycle_reaching(cycles_points, retired_points, needed) -> Optional[float]:
+    """Cycle at which cumulative retirement first reaches ``needed``
+    (linear interpolation within the surrounding epoch)."""
+    index = bisect.bisect_left(retired_points, needed)
+    if index >= len(retired_points):
+        return None
+    if index == 0:
+        return float(cycles_points[0])
+    span = retired_points[index] - retired_points[index - 1]
+    if span <= 0:
+        return float(cycles_points[index])
+    fraction = (needed - retired_points[index - 1]) / span
+    return (cycles_points[index - 1]
+            + fraction * (cycles_points[index] - cycles_points[index - 1]))

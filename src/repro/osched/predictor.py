@@ -1,0 +1,92 @@
+"""Online prediction of kernel execution demand.
+
+Section 3.2 assumes datacenter workloads are stable enough that "the total
+number of instructions of the kernel ... can be accurately predicted by the
+runtime or application with machine learning algorithms according to
+previous work [Baymax]".  This module supplies that runtime piece: an
+exponentially weighted online estimator of per-job instruction counts with
+a quantile-style safety margin, so the dispatcher can translate deadlines
+into IPC goals without being told exact job sizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class DemandEstimate:
+    """Predicted per-job instruction demand for one application."""
+
+    mean: float
+    deviation: float
+    samples: int
+
+    def with_margin(self, sigmas: float = 2.0) -> float:
+        """Conservative prediction: mean plus ``sigmas`` mean deviations.
+
+        Under-prediction causes missed deadlines (the goal was set too
+        low); over-prediction merely reserves slack that the non-QoS goal
+        search hands back.  Asymmetric costs justify the margin.
+        """
+        return self.mean + sigmas * self.deviation
+
+
+class OnlineDemandPredictor:
+    """EWMA + mean-absolute-deviation estimator per application."""
+
+    def __init__(self, alpha: float = 0.25, warmup_samples: int = 3):
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError("alpha must be in (0, 1]")
+        if warmup_samples < 1:
+            raise ValueError("warmup_samples must be >= 1")
+        self.alpha = alpha
+        self.warmup_samples = warmup_samples
+        self._means: Dict[str, float] = {}
+        self._deviations: Dict[str, float] = {}
+        self._counts: Dict[str, int] = {}
+        self._history: Dict[str, List[float]] = {}
+
+    def observe(self, app_name: str, instructions: float) -> None:
+        """Record one completed job's actual instruction count."""
+        if instructions < 0:
+            raise ValueError("instruction count cannot be negative")
+        count = self._counts.get(app_name, 0)
+        if count == 0:
+            self._means[app_name] = instructions
+            self._deviations[app_name] = 0.0
+        else:
+            mean = self._means[app_name]
+            error = abs(instructions - mean)
+            self._means[app_name] = (self.alpha * instructions
+                                     + (1 - self.alpha) * mean)
+            self._deviations[app_name] = (self.alpha * error
+                                          + (1 - self.alpha)
+                                          * self._deviations[app_name])
+        self._counts[app_name] = count + 1
+        self._history.setdefault(app_name, []).append(instructions)
+
+    def ready(self, app_name: str) -> bool:
+        """Enough samples to trust the estimate?"""
+        return self._counts.get(app_name, 0) >= self.warmup_samples
+
+    def estimate(self, app_name: str) -> DemandEstimate:
+        if app_name not in self._means:
+            raise KeyError(f"no observations for {app_name!r}")
+        return DemandEstimate(mean=self._means[app_name],
+                              deviation=self._deviations[app_name],
+                              samples=self._counts[app_name])
+
+    def prediction_error(self, app_name: str) -> float:
+        """Mean relative |error| of one-step-ahead predictions (backtest)."""
+        history = self._history.get(app_name, [])
+        if len(history) < 2:
+            return 0.0
+        mean = history[0]
+        errors = []
+        for value in history[1:]:
+            if mean > 0:
+                errors.append(abs(value - mean) / mean)
+            mean = self.alpha * value + (1 - self.alpha) * mean
+        return sum(errors) / len(errors) if errors else 0.0

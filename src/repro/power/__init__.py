@@ -1,0 +1,5 @@
+"""GPUWattch-style event-based power model (Section 4.7)."""
+
+from repro.power.model import EnergyBreakdown, PowerModel, instructions_per_watt
+
+__all__ = ["EnergyBreakdown", "PowerModel", "instructions_per_watt"]

@@ -1,0 +1,115 @@
+"""An event-energy power model in the spirit of GPUWattch.
+
+GPUWattch derives per-event energies from McPAT-style circuit models; we use
+published per-event energy magnitudes for a 16 nm-class GPU (pJ per
+instruction / cache access / DRAM access) plus static leakage per SM.  The
+paper's Figure 14 metric — instructions per Watt — compares *relative*
+efficiency of management schemes on the same machine, so the model's job is
+to weight dynamic activity (issue slots, cache traffic, DRAM traffic) and
+idle leakage correctly against each other, not to predict absolute Watts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import GPUConfig
+from repro.sim.stats import SimulationResult
+
+# Per-event dynamic energies, picojoules.
+ENERGY_PJ = {
+    "warp_instruction": 60.0,   # fetch/decode/issue/execute, one warp op
+    "thread_lane": 8.0,         # per active lane ALU energy
+    "l1_access": 40.0,
+    "l2_access": 90.0,
+    "dram_access": 1300.0,
+    "noc_transfer": 55.0,
+}
+
+#: Static (leakage + constant clocking) power per SM, Watts.
+SM_STATIC_W = 1.1
+#: Fraction of per-SM static power that cannot be clock-gated away when the
+#: SM is idle (leakage, retention).  GPUWattch models idle-unit gating; the
+#: paper's Section 4.7 leans on exactly this effect ("creating
+#: opportunities for power gating").
+SM_UNGATED_FRACTION = 0.35
+#: Baseline chip-level static power (MCs, scheduler, PHYs), Watts.
+CHIP_STATIC_W = 12.0
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Joules by component for one simulation run."""
+
+    core_dynamic: float
+    l1: float
+    l2: float
+    dram: float
+    noc: float
+    static: float
+
+    @property
+    def total(self) -> float:
+        return (self.core_dynamic + self.l1 + self.l2 + self.dram
+                + self.noc + self.static)
+
+    def as_dict(self) -> dict:
+        return {
+            "core_dynamic_j": self.core_dynamic,
+            "l1_j": self.l1,
+            "l2_j": self.l2,
+            "dram_j": self.dram,
+            "noc_j": self.noc,
+            "static_j": self.static,
+            "total_j": self.total,
+        }
+
+
+class PowerModel:
+    """Computes energy and inst/Watt for a :class:`SimulationResult`."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+
+    def energy(self, result: SimulationResult) -> EnergyBreakdown:
+        pj = 1e-12
+        warp_insts = 0
+        thread_insts = 0
+        requests = 0
+        for kernel in result.kernels:
+            thread_insts += kernel.retired_thread_insts
+            warp_insts += kernel.retired_thread_insts // 32 + 1
+            requests += kernel.memory["requests"]
+        mem = result.memory_aggregate
+        l1_accesses = mem["l1_hits"] + mem["l1_misses"]
+        l2_accesses = mem["l2_hits"] + mem["l2_misses"]
+        dram_accesses = mem["l2_misses"]
+        core = (warp_insts * ENERGY_PJ["warp_instruction"]
+                + thread_insts * ENERGY_PJ["thread_lane"]) * pj
+        l1 = l1_accesses * ENERGY_PJ["l1_access"] * pj
+        l2 = l2_accesses * ENERGY_PJ["l2_access"] * pj
+        dram = dram_accesses * ENERGY_PJ["dram_access"] * pj
+        noc = (mem["l1_misses"] + l2_accesses) * ENERGY_PJ["noc_transfer"] * pj
+        seconds = result.cycles / (self.config.core_freq_mhz * 1e6)
+        activity = result.extra.get("mean_sm_activity", 1.0)
+        gating = SM_UNGATED_FRACTION + (1.0 - SM_UNGATED_FRACTION) * activity
+        static = (SM_STATIC_W * self.config.num_sms * gating
+                  + CHIP_STATIC_W) * seconds
+        return EnergyBreakdown(core_dynamic=core, l1=l1, l2=l2, dram=dram,
+                               noc=noc, static=static)
+
+    def average_power_w(self, result: SimulationResult) -> float:
+        seconds = result.cycles / (self.config.core_freq_mhz * 1e6)
+        return self.energy(result).total / seconds
+
+    def instructions_per_watt(self, result: SimulationResult) -> float:
+        return instructions_per_watt(result, self.average_power_w(result))
+
+
+def instructions_per_watt(result: SimulationResult, power_w: float) -> float:
+    """Figure 14's efficiency metric: retired thread insts per Watt-cycle,
+    expressed as instructions per Joule-second normalised to run time."""
+    if power_w <= 0:
+        raise ValueError("power must be positive")
+    total = sum(kernel.retired_thread_insts for kernel in result.kernels)
+    return total / (power_w * result.cycles)

@@ -1,0 +1,47 @@
+"""Fine-grained QoS management for GPU sharing — the paper's contribution.
+
+The public surface:
+
+* :class:`QoSPolicy` — a :class:`repro.sim.SharingPolicy` that plugs the
+  QoS Manager + Enhanced Warp Scheduler of Section 3.3 into the simulator.
+* The quota schemes of Section 3.4: :class:`NaiveScheme`,
+  :class:`HistoryScheme`, :class:`ElasticScheme`, :class:`RolloverScheme`,
+  and the CPU-style :class:`RolloverTimeScheme` of Section 4.5.
+* :func:`translate_qos_goal` — the application-goal → IPC-goal translation
+  of Section 3.2.
+* :class:`StaticAllocator` — symmetric TB allocation and runtime
+  adjustment of Section 3.6.
+"""
+
+from repro.qos.goals import QoSRequirement, TransferModel, translate_qos_goal
+from repro.qos.quota import (
+    QuotaScheme,
+    NaiveScheme,
+    HistoryScheme,
+    ElasticScheme,
+    RolloverScheme,
+    RolloverTimeScheme,
+    scheme_by_name,
+    SCHEME_NAMES,
+)
+from repro.qos.nonqos import nonqos_ipc_goal
+from repro.qos.static_alloc import StaticAllocator, symmetric_targets
+from repro.qos.manager import QoSPolicy
+
+__all__ = [
+    "QoSRequirement",
+    "TransferModel",
+    "translate_qos_goal",
+    "QuotaScheme",
+    "NaiveScheme",
+    "HistoryScheme",
+    "ElasticScheme",
+    "RolloverScheme",
+    "RolloverTimeScheme",
+    "scheme_by_name",
+    "SCHEME_NAMES",
+    "nonqos_ipc_goal",
+    "StaticAllocator",
+    "symmetric_targets",
+    "QoSPolicy",
+]

@@ -1,0 +1,98 @@
+"""Translating application-level QoS goals into architectural IPC goals.
+
+Section 3.2: QoS goals arrive as application metrics (frame rate, data
+rate).  The OS-resident kernel scheduler knows the end-to-end budget,
+subtracts the non-kernel latencies (PCIe transfers, queueing), divides the
+remaining kernel-time budget into the kernel's instruction count, and ships
+the resulting IPC goal to the GPU at dispatch:
+
+    IPC = Instructions_of_Kernel / (Frequency x Kernel_Execution_Time)
+
+This module implements that pipeline.  The harness mostly bypasses it by
+sweeping IPC goals as fractions of ``IPC_isolated`` (exactly as the paper's
+evaluation does), but the examples use it to show the full path from a
+frame-rate requirement to a hardware goal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """PCIe transfer-time model: fixed latency plus bandwidth term.
+
+    A discrete GPU must move each frame's data over PCIe; the transfer time
+    is linear in size (Section 3.2).  A unified-memory system sets
+    ``bandwidth_bytes_per_s`` to 0-cost by using :meth:`unified`.
+    """
+
+    fixed_latency_s: float = 5e-6
+    bandwidth_bytes_per_s: float = 12e9  # ~PCIe 3.0 x16 effective
+
+    @classmethod
+    def unified(cls) -> "TransferModel":
+        """Unified architecture: the driver maps host memory, no copies."""
+        return cls(fixed_latency_s=0.0, bandwidth_bytes_per_s=float("inf"))
+
+    def transfer_time_s(self, num_bytes: int) -> float:
+        if num_bytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if num_bytes == 0:
+            return 0.0
+        return self.fixed_latency_s + num_bytes / self.bandwidth_bytes_per_s
+
+
+@dataclass(frozen=True)
+class QoSRequirement:
+    """An application-level requirement for one repeatedly launched kernel.
+
+    ``deadline_s`` is the end-to-end budget per kernel invocation — e.g. a
+    60 FPS video kernel has ``deadline_s = 1/60``.  ``instructions`` is the
+    kernel's (predicted) total thread-instruction count; Section 3.2 notes
+    datacenter workloads are stable enough for this to be learned online.
+    """
+
+    deadline_s: float
+    instructions: int
+    input_bytes: int = 0
+    output_bytes: int = 0
+    queueing_s: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.deadline_s <= 0:
+            raise ValueError("deadline must be positive")
+        if self.instructions <= 0:
+            raise ValueError("instruction count must be positive")
+        if self.queueing_s < 0:
+            raise ValueError("queueing time must be non-negative")
+
+    @classmethod
+    def from_frame_rate(cls, fps: float, instructions: int,
+                        **kwargs) -> "QoSRequirement":
+        """Frame rate is kernel completion rate: one kernel per frame."""
+        if fps <= 0:
+            raise ValueError("frame rate must be positive")
+        return cls(deadline_s=1.0 / fps, instructions=instructions, **kwargs)
+
+
+def translate_qos_goal(requirement: QoSRequirement, core_freq_mhz: float,
+                       transfers: TransferModel = TransferModel()) -> float:
+    """Compute the IPC goal the GPU must sustain to meet the requirement.
+
+    Subtracts transfer and queueing time from the deadline to obtain the
+    pure kernel execution budget, then applies the Section 3.2 formula.
+    Raises ``ValueError`` when the non-kernel latencies already exceed the
+    deadline (the goal is unachievable no matter how the GPU is managed).
+    """
+    overhead = (transfers.transfer_time_s(requirement.input_bytes)
+                + transfers.transfer_time_s(requirement.output_bytes)
+                + requirement.queueing_s)
+    kernel_budget_s = requirement.deadline_s - overhead
+    if kernel_budget_s <= 0:
+        raise ValueError(
+            f"non-kernel latencies ({overhead:.6f}s) exceed the deadline "
+            f"({requirement.deadline_s:.6f}s); no IPC goal can satisfy it")
+    frequency_hz = core_freq_mhz * 1e6
+    return requirement.instructions / (frequency_hz * kernel_budget_s)

@@ -1,0 +1,223 @@
+"""The QoS Manager — orchestrates quotas, goals and TB adjustment.
+
+This is the architecture of Figure 3: the enhanced TB scheduler performs
+static resource management (initial symmetric allocation + runtime TB
+adjustment via the preemption engine) while the QoS manager performs dynamic
+resource management (epoch quotas distributed to each SM's Enhanced Warp
+Scheduler, proportionally to the TBs it hosts).  The quota *scheme* decides
+how counters refresh at epoch boundaries; the manager decides how large the
+quotas are, using the history-based alpha (Section 3.4.2) and the non-QoS
+goal search (Section 3.5).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Union
+
+from repro.qos.nonqos import INITIAL_NONQOS_IPC, nonqos_ipc_goal
+from repro.qos.quota import QuotaScheme, RolloverScheme, scheme_by_name
+from repro.qos.static_alloc import StaticAllocator, symmetric_targets
+from repro.sim.engine import GPUSimulator, SharingPolicy
+
+#: Upper bound on the history-based scale factor.  Section 3.4.3 observes
+#: that "more aggressive alpha adjustment would benefit QoS kernels but not
+#: the non-QoS kernels so that the total throughput is lowered"; the cap
+#: keeps a transiently starved kernel from requesting an unbounded quota.
+ALPHA_CAP = 8.0
+
+
+class QoSPolicy(SharingPolicy):
+    """Fine-grained QoS management over SMK sharing (the paper's design)."""
+
+    uses_quotas = True
+
+    def __init__(self, scheme: Union[QuotaScheme, str] = None,
+                 static_adjustment: bool = True,
+                 alpha_cap: float = ALPHA_CAP):
+        if scheme is None:
+            scheme = RolloverScheme()
+        elif isinstance(scheme, str):
+            scheme = scheme_by_name(scheme)
+        self.scheme = scheme
+        self.name = f"qos-{scheme.name}"
+        self.static_adjustment = static_adjustment
+        self.alpha_cap = alpha_cap
+        # Populated at setup().
+        self.qos_indices: List[int] = []
+        self.nonqos_indices: List[int] = []
+        self.goals: Dict[int, float] = {}
+        self.alphas: Dict[int, float] = {}
+        self.nonqos_goals: Dict[int, float] = {}
+        self.ipc_history: Dict[int, float] = {}
+        self.epoch_ipc: Dict[int, float] = {}
+        # Exponential moving average of per-epoch IPC.  The cumulative
+        # ipc_history drives alpha (the paper's formula); TB-allocation
+        # decisions use this faster-tracking signal so a long warm-up
+        # transient cannot keep granting TBs to a kernel that is already
+        # performing above goal (matters at short simulation windows).
+        self.recent_ipc: Dict[int, float] = {}
+        self.allocator: StaticAllocator = None
+        self._last_retired: Dict[int, int] = {}
+        self._last_epoch_cycle = 0
+        self._measured = False
+        self._nonqos_share: List[Dict[int, float]] = []
+        self._design_residency: List[set] = []
+
+    # -------------------------------------------------------------- setup
+
+    def setup(self, engine: GPUSimulator) -> None:
+        for idx, launch in enumerate(engine.kernels):
+            if launch.is_qos:
+                self.qos_indices.append(idx)
+                self.goals[idx] = launch.ipc_goal
+                self.alphas[idx] = 1.0
+            else:
+                self.nonqos_indices.append(idx)
+                self.nonqos_goals[idx] = INITIAL_NONQOS_IPC
+            self.ipc_history[idx] = 0.0
+            self.epoch_ipc[idx] = INITIAL_NONQOS_IPC
+            self.recent_ipc[idx] = 0.0
+            self._last_retired[idx] = 0
+        self.allocator = StaticAllocator(engine.config)
+        self._nonqos_share = [dict() for _ in range(engine.config.num_sms)]
+
+        specs = [launch.spec for launch in engine.kernels]
+        targets = symmetric_targets(engine.config, self.qos_indices,
+                                    self.nonqos_indices, specs)
+        self._design_residency = [set(sm_targets) for sm_targets in targets]
+        for sm_id, sm_targets in enumerate(targets):
+            for kernel_idx in range(engine.num_kernels):
+                engine.set_tb_target(sm_id, kernel_idx,
+                                     sm_targets.get(kernel_idx, 0))
+
+    # -------------------------------------------------------------- epochs
+
+    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+                       epoch_index: int) -> None:
+        if epoch_index == 0:
+            self._refresh_quotas(engine, first=True)
+            return
+        self._measure(engine, cycle)
+        self._update_alphas()
+        self._update_nonqos_goals()
+        if self.static_adjustment:
+            # TB allocation chases the alpha-adjusted catch-up target: a
+            # kernel whose cumulative IPC still trails its goal must run
+            # *above* goal for the remainder, so judging TLP needs against
+            # the raw goal would stop growing it too early.
+            alloc_goals = {idx: self.alphas[idx] * self.goals[idx]
+                           for idx in self.qos_indices}
+            self.allocator.adjust(engine, self.qos_indices,
+                                  self.nonqos_indices, self.recent_ipc,
+                                  alloc_goals, self._design_residency)
+        self._refresh_quotas(engine, first=False)
+        self._last_epoch_cycle = cycle
+
+    def _measure(self, engine: GPUSimulator, cycle: int) -> None:
+        """Per-epoch and cumulative IPC for every kernel."""
+        epoch_cycles = max(1, cycle - self._last_epoch_cycle)
+        for idx, stats in enumerate(engine.kernel_stats):
+            retired = stats.retired_thread_insts
+            epoch_ipc = (retired - self._last_retired[idx]) / epoch_cycles
+            self.epoch_ipc[idx] = epoch_ipc
+            self.ipc_history[idx] = retired / max(1, cycle)
+            if self._measured:
+                self.recent_ipc[idx] = (0.5 * self.recent_ipc[idx]
+                                        + 0.5 * epoch_ipc)
+            else:
+                self.recent_ipc[idx] = epoch_ipc
+            self._last_retired[idx] = retired
+        self._measured = True
+
+    def _update_alphas(self) -> None:
+        """alpha_k = max(IPC_goal / IPC_history, 1), capped (Section 3.4.2)."""
+        if not self.scheme.use_history:
+            for idx in self.qos_indices:
+                self.alphas[idx] = 1.0
+            return
+        for idx in self.qos_indices:
+            history = self.ipc_history[idx]
+            if history <= 0:
+                self.alphas[idx] = self.alpha_cap
+            else:
+                self.alphas[idx] = min(self.alpha_cap,
+                                       max(1.0, self.goals[idx] / history))
+
+    def _update_nonqos_goals(self) -> None:
+        """The Section 3.5 artificial-goal search for each non-QoS kernel."""
+        qos_epoch = {idx: self.epoch_ipc[idx] for idx in self.qos_indices}
+        for idx in self.nonqos_indices:
+            self.nonqos_goals[idx] = nonqos_ipc_goal(
+                self.epoch_ipc[idx], qos_epoch, self.goals, self.alphas)
+
+    # -------------------------------------------------------------- quotas
+
+    def _kernel_quota(self, engine: GPUSimulator, kernel_idx: int) -> float:
+        """Whole-GPU quota for the next epoch, in thread instructions."""
+        epoch_length = engine.config.epoch_length
+        if kernel_idx in self.goals:
+            return self.alphas[kernel_idx] * self.goals[kernel_idx] * epoch_length
+        return self.nonqos_goals[kernel_idx] * epoch_length
+
+    def _refresh_quotas(self, engine: GPUSimulator, first: bool) -> None:
+        """Distribute quotas into per-SM counters, TB-proportionally.
+
+        The scheme's carried residual is summed over all SMs and folded
+        into the kernel-wide quota before distribution (Section 3.4.4
+        treats Quota_k as a whole-kernel quantity): unused quota stranded
+        on an SM whose share exceeded its local capacity is thereby
+        redistributed to SMs that can actually consume it next epoch.
+        """
+        num_sms = engine.config.num_sms
+        scheme = self.scheme
+        for kernel_idx in range(engine.num_kernels):
+            quota = self._kernel_quota(engine, kernel_idx)
+            is_qos = kernel_idx in self.goals
+            if not first:
+                quota += sum(
+                    scheme.carry(sm.quota_counters[kernel_idx], is_qos)
+                    for sm in engine.sms)
+            total_tbs = engine.total_tbs(kernel_idx)
+            blocked = (not is_qos) and scheme.blocks_nonqos_at_boundary
+            for sm in engine.sms:
+                if total_tbs > 0:
+                    share = quota * sm.tb_count[kernel_idx] / total_tbs
+                else:
+                    share = quota / num_sms
+                if not is_qos:
+                    self._nonqos_share[sm.sm_id][kernel_idx] = max(share, 0.0)
+                sm.set_quota(kernel_idx, 0.0 if blocked else share)
+        for sm in engine.sms:
+            sm.wake_all()
+
+    # ----------------------------------------------------- exhaustion hook
+
+    def on_quota_exhausted(self, engine: GPUSimulator, sm, kernel_idx: int,
+                           cycle: int) -> None:
+        if self.scheme.elastic:
+            if self._all_resident_exhausted(engine):
+                # Start the next epoch at once (Section 3.4.3); the engine
+                # processes the boundary at the top of the next cycle.
+                engine.next_epoch_at = cycle
+            return
+        # Naïve-family mid-epoch refill: once every QoS kernel on this SM is
+        # out of quota, top up the drained non-QoS kernels so the SM's spare
+        # cycles are not wasted (Section 3.4.1).  QoS kernels never receive
+        # more quota mid-epoch — their goal for this epoch has been met.
+        if not sm.all_exhausted(self._resident_qos(sm)):
+            return
+        shares = self._nonqos_share[sm.sm_id]
+        for nonqos_idx in self.nonqos_indices:
+            if sm.tb_count[nonqos_idx] > 0 and sm.quota_counters[nonqos_idx] <= 0:
+                sm.add_quota(nonqos_idx, max(shares.get(nonqos_idx, 0.0), 1.0))
+
+    def _resident_qos(self, sm) -> List[int]:
+        return [idx for idx in self.qos_indices if sm.tb_count[idx] > 0]
+
+    def _all_resident_exhausted(self, engine: GPUSimulator) -> bool:
+        for sm in engine.sms:
+            counters = sm.quota_counters
+            for kernel_idx in range(engine.num_kernels):
+                if sm.tb_count[kernel_idx] > 0 and counters[kernel_idx] > 0:
+                    return False
+        return True

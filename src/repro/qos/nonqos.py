@@ -1,0 +1,49 @@
+"""The artificial IPC goal for non-QoS kernels (Section 3.5).
+
+Non-QoS kernels have no requirement of their own; their quota exists only to
+stop them overtaking QoS kernels early in an epoch, while still letting them
+soak up every cycle the QoS kernels do not need.  The search rule scales a
+non-QoS kernel's goal each epoch by how comfortably the QoS kernels beat
+their (alpha-adjusted) goals:
+
+    IPC_goal = IPC_epoch x  prod over QoS kernels k of
+               IPC_epoch_of_k / (alpha_k x IPC_goal_of_k)
+
+Starting from a conservatively tiny IPC_epoch (1.0 in the paper and here),
+the goal ratchets up while QoS kernels overachieve and collapses as soon as
+any QoS kernel falls below its target, returning resources to it.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+#: Section 3.5: "The initial IPC_epoch is 1 in our evaluation."
+INITIAL_NONQOS_IPC = 1.0
+
+#: Floor keeping non-QoS kernels from being starved into a zero quota they
+#: could never recover from (their measured IPC_epoch would stay 0 forever).
+MIN_NONQOS_IPC = 0.5
+
+
+def nonqos_ipc_goal(own_epoch_ipc: float,
+                    qos_epoch_ipc: Mapping[int, float],
+                    qos_goals: Mapping[int, float],
+                    alphas: Mapping[int, float]) -> float:
+    """Compute next epoch's artificial IPC goal for one non-QoS kernel.
+
+    ``qos_epoch_ipc``, ``qos_goals`` and ``alphas`` are keyed by QoS kernel
+    index and must share keys.  A QoS kernel that retired nothing this
+    epoch (e.g. it finished, or it is fully starved) contributes its worst
+    case: the product term is 0, collapsing the non-QoS goal to the floor
+    so the QoS kernel can recover.
+    """
+    if own_epoch_ipc < 0:
+        raise ValueError("IPC cannot be negative")
+    goal = own_epoch_ipc
+    for kernel_idx, epoch_ipc in qos_epoch_ipc.items():
+        target = alphas[kernel_idx] * qos_goals[kernel_idx]
+        if target <= 0:
+            raise ValueError("QoS goals and alphas must be positive")
+        goal *= epoch_ipc / target
+    return max(goal, MIN_NONQOS_IPC)

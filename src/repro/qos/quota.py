@@ -1,0 +1,158 @@
+"""The quota allocation schemes of Sections 3.4 and 4.5.
+
+A scheme answers two questions for the QoS manager:
+
+1. *At an epoch boundary*, what does a kernel's per-SM counter become, given
+   its residual value and its new quota share?  (``refresh``)
+2. *Mid-epoch*, what happens when a counter crosses zero?
+   (``wants_elastic_restart`` / ``initial_nonqos_blocked``)
+
+Worked example from Figure 4 (quota 100 for QoS kernel K0, 50 for non-QoS
+K1):
+
+* **Naïve** discards residuals: counters reset to the fresh quota every
+  epoch.  Mid-epoch, once every QoS counter is exhausted, non-QoS counters
+  are topped up by their quota so the SM keeps busy (4a: C_K1 = -2 -> 48).
+* **History** is Naïve with quotas scaled by alpha = max(goal/history, 1).
+* **Elastic** starts the next epoch immediately when *all* counters are
+  exhausted; residuals are added to the fresh quotas (4b: C_K0 = -3 -> 97).
+* **Rollover** keeps a QoS kernel's unused quota (4c: C_K0 = 5 -> 105)
+  while non-QoS residual surplus is discarded (C_K1 = 20 -> 50); debt is
+  carried for both (C_K1 = -3 -> 47).
+* **Rollover-Time** (Section 4.5) uses Rollover's accounting but blocks
+  non-QoS kernels until the QoS kernels exhaust their quotas, i.e.
+  CPU-style prioritised time multiplexing inside each epoch.
+"""
+
+from __future__ import annotations
+
+
+class QuotaScheme:
+    """Base class: common defaults shared by all schemes.
+
+    Two entry points define a scheme's boundary behaviour:
+
+    ``carry(residual, is_qos)``
+        How much of a counter's residual survives the boundary.  The QoS
+        manager sums carries across all SMs and adds the total to the
+        kernel's fresh quota *before* distribution, so unused quota
+        stranded on one SM is redistributed to SMs that can consume it
+        ("the unused quota of QoS kernels from the last epoch are added to
+        the quota of this epoch", Section 3.4.4 — Quota_k is a kernel-wide
+        quantity).
+    ``blocks_nonqos_at_boundary``
+        Whether non-QoS counters start each epoch empty (Rollover-Time's
+        CPU-style prioritisation).
+
+    ``refresh`` is the single-SM composition of the two (the arithmetic of
+    the Figure 4 worked examples).
+    """
+
+    name = "base"
+    #: scale quotas by the history-based alpha of Section 3.4.2
+    use_history = True
+    #: start a new epoch the moment every resident kernel is exhausted
+    elastic = False
+    #: non-QoS kernels start each epoch throttled (Rollover-Time)
+    initial_nonqos_blocked = False
+
+    def carry(self, residual: float, is_qos: bool) -> float:
+        """Portion of a counter's boundary residual that is kept."""
+        raise NotImplementedError
+
+    @property
+    def blocks_nonqos_at_boundary(self) -> bool:
+        return self.initial_nonqos_blocked
+
+    def refresh(self, residual: float, share: float, is_qos: bool) -> float:
+        """New counter value at an epoch boundary (single-SM view).
+
+        ``residual`` is the counter's value at the boundary (positive =
+        unused quota, negative = overrun due to warp-granularity
+        decrements); ``share`` is this SM's slice of the kernel's fresh
+        quota.
+        """
+        if not is_qos and self.blocks_nonqos_at_boundary:
+            return 0.0
+        return share + self.carry(residual, is_qos)
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class NaiveScheme(QuotaScheme):
+    """Section 3.4.1: fixed quota, residuals discarded, no history scaling."""
+
+    name = "naive"
+    use_history = False
+
+    def carry(self, residual: float, is_qos: bool) -> float:
+        return 0.0
+
+
+class HistoryScheme(NaiveScheme):
+    """Section 3.4.2: Naïve allocation with history-based quota adjustment."""
+
+    name = "history"
+    use_history = True
+
+
+class ElasticScheme(QuotaScheme):
+    """Section 3.4.3: variable-length epochs.
+
+    When every counter on the GPU is exhausted a new epoch begins at once
+    and residuals are *added* to the fresh quotas, so over-consumption in
+    one epoch is charged against the next.
+    """
+
+    name = "elastic"
+    elastic = True
+
+    def carry(self, residual: float, is_qos: bool) -> float:
+        return residual
+
+
+class RolloverScheme(QuotaScheme):
+    """Section 3.4.4: carry QoS kernels' unused quota into the next epoch.
+
+    Non-QoS kernels never bank surplus (it would let them overrun QoS
+    kernels later), but debt is carried for everyone so the decrement
+    granularity cannot be gamed.
+    """
+
+    name = "rollover"
+
+    def carry(self, residual: float, is_qos: bool) -> float:
+        if is_qos:
+            return residual
+        return min(residual, 0.0)
+
+
+class RolloverTimeScheme(RolloverScheme):
+    """Section 4.5: Rollover accounting with CPU-style prioritisation.
+
+    Non-QoS kernels begin every epoch with an empty counter and only start
+    once all QoS kernels on their SM have exhausted theirs — the
+    "conventional QoS with prioritization as in CPUs" strawman.
+    """
+
+    name = "rollover-time"
+    initial_nonqos_blocked = True
+
+
+_SCHEMES = {
+    scheme.name: scheme
+    for scheme in (NaiveScheme, HistoryScheme, ElasticScheme,
+                   RolloverScheme, RolloverTimeScheme)
+}
+
+SCHEME_NAMES = tuple(sorted(_SCHEMES))
+
+
+def scheme_by_name(name: str) -> QuotaScheme:
+    """Instantiate a quota scheme from its paper name."""
+    try:
+        return _SCHEMES[name]()
+    except KeyError:
+        raise ValueError(
+            f"unknown quota scheme {name!r}; choose from {SCHEME_NAMES}") from None

@@ -1,0 +1,325 @@
+"""Static resource (TB) allocation and runtime adjustment — Section 3.6.
+
+Two pieces:
+
+* :func:`symmetric_targets` — the initial allocation: QoS kernels are spread
+  over every SM; non-QoS kernels get equal spatial partitions; within an SM
+  each resident kernel receives an equal share of the thread budget.
+* :class:`StaticAllocator` — the per-epoch runtime adjustment: idle-warp
+  sampling identifies kernels with excessive TLP ("idle TBs"); a QoS kernel
+  that is below goal and out of idle TBs receives one more TB, evicting TBs
+  of a victim kernel chosen by the paper's three rules.  Swaps are skipped
+  while any preemption is pending, bounding the context-switch overhead.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.config import GPUConfig
+
+#: Section 3.6: a kernel with more than this many idle TBs has TLP to spare.
+IDLE_TB_SLACK = 1
+
+#: A QoS kernel counts as lagging only below this fraction of its goal:
+#: a quota-throttled kernel sits *at* its goal with small oscillation, and
+#: treating that as lagging would trigger needless TB churn.
+LAG_TOLERANCE = 0.99
+
+#: Hysteresis for returning TBs from an over-achieving QoS kernel to the
+#: non-QoS side: the QoS kernel must be predicted to stay this far above its
+#: goal after losing the TB.  Prevents grant/reclaim thrash.
+RECLAIM_MARGIN = 1.1
+
+
+def symmetric_targets(config: GPUConfig, qos_indices: Sequence[int],
+                      nonqos_indices: Sequence[int],
+                      specs: Sequence) -> List[Dict[int, int]]:
+    """Initial per-SM TB targets (Section 3.6, "Symmetric TB allocation").
+
+    Returns one ``{kernel_idx: target}`` dict per SM.  QoS kernels appear on
+    every SM; the non-QoS kernels split the SMs into equal contiguous
+    partitions (e.g. one QoS + two non-QoS kernels on 16 SMs: the QoS kernel
+    runs on all 16, each non-QoS kernel on 8).  Within an SM, resident
+    kernels get an equal share of the thread budget, converted to TBs.
+    """
+    num_sms = config.num_sms
+    residents: List[List[int]] = [list(qos_indices) for _ in range(num_sms)]
+    if nonqos_indices:
+        share = num_sms // len(nonqos_indices)
+        if share == 0:
+            raise ValueError("more non-QoS kernels than SMs")
+        for position, kernel_idx in enumerate(nonqos_indices):
+            start = position * share
+            stop = num_sms if position == len(nonqos_indices) - 1 else start + share
+            for sm_id in range(start, stop):
+                residents[sm_id].append(kernel_idx)
+
+    targets: List[Dict[int, int]] = []
+    for sm_id in range(num_sms):
+        resident = residents[sm_id]
+        thread_share = config.sm.max_threads // max(1, len(resident))
+        slot_share = max(1, config.sm.max_tbs // max(1, len(resident)))
+        sm_targets = {}
+        for kernel_idx in resident:
+            spec = specs[kernel_idx]
+            by_threads = max(1, thread_share // spec.threads_per_tb)
+            ceiling = spec.max_tbs_per_sm(config.sm)
+            sm_targets[kernel_idx] = max(1, min(by_threads, slot_share, ceiling))
+        _scale_to_feasible(config, specs, sm_targets)
+        targets.append(sm_targets)
+    return targets
+
+
+def _scale_to_feasible(config: GPUConfig, specs: Sequence,
+                       sm_targets: Dict[int, int]) -> None:
+    """Shrink targets proportionally until their joint demand fits the SM.
+
+    The equal-thread split can overcommit another resource (registers,
+    usually); the targets are divided by the worst overcommit ratio so the
+    initial allocation is realisable and the runtime adjustment starts from
+    a balanced point rather than a dispatch-order artefact.
+    """
+    capacity = {
+        "registers_bytes": config.sm.registers_bytes,
+        "shared_memory_bytes": config.sm.shared_memory_bytes,
+        "threads": config.sm.max_threads,
+        "tbs": config.sm.max_tbs,
+    }
+    worst = 1.0
+    for resource, limit in capacity.items():
+        demand = sum(specs[idx].resource_vector()[resource] * count
+                     for idx, count in sm_targets.items())
+        if limit > 0 and demand > limit:
+            worst = max(worst, demand / limit)
+    if worst > 1.0:
+        for idx in sm_targets:
+            sm_targets[idx] = max(1, int(sm_targets[idx] / worst))
+
+
+class StaticAllocator:
+    """Runtime TB adjustment driven by idle-warp sampling."""
+
+    def __init__(self, config: GPUConfig):
+        self.config = config
+        self.grants = 0
+        self.evictions_requested = 0
+
+    # ----------------------------------------------------------- main entry
+
+    def adjust(self, engine, qos_indices: Sequence[int],
+               nonqos_indices: Sequence[int],
+               ipc_history: Dict[int, float],
+               ipc_goals: Dict[int, float],
+               residency: Optional[List[set]] = None) -> None:
+        """One adjustment pass at an epoch boundary.
+
+        Per SM, at most one TB grant per epoch (limits context-switch
+        churn).  QoS kernels lagging their goals come first; if the SM has
+        free resources a grant is free, otherwise a victim is evicted under
+        the Section 3.6 rules.  Non-QoS kernels may also grow, but only
+        into genuinely free resources.
+        """
+        if residency is None:
+            residency = [set(range(engine.num_kernels))
+                         for _ in range(engine.config.num_sms)]
+        swaps_allowed = not engine.preemption.has_pending
+        for sm in engine.sms:
+            resident = residency[sm.sm_id]
+            if self._grant_to_lagging_qos(engine, sm, qos_indices,
+                                          nonqos_indices, ipc_history,
+                                          ipc_goals, swaps_allowed, resident):
+                continue
+            if self._grow_into_free(engine, sm, nonqos_indices, resident):
+                continue
+            if swaps_allowed:
+                self._reclaim_for_nonqos(engine, sm, qos_indices,
+                                         nonqos_indices, ipc_history,
+                                         ipc_goals, resident)
+
+    # ------------------------------------------------------------- qos path
+
+    def _grant_to_lagging_qos(self, engine, sm, qos_indices, nonqos_indices,
+                              ipc_history, ipc_goals, swaps_allowed,
+                              resident) -> bool:
+        for kernel_idx in qos_indices:
+            if (ipc_history.get(kernel_idx, 0.0)
+                    >= ipc_goals[kernel_idx] * LAG_TOLERANCE):
+                continue
+            if kernel_idx not in resident:
+                continue  # kernel not placed on this SM by design
+            target = engine.tb_targets[sm.sm_id][kernel_idx]
+            live = sm.tb_count[kernel_idx]
+            if self._idle_tbs(sm, kernel_idx) > IDLE_TB_SLACK:
+                continue  # has TLP to spare; more TBs would not help
+            spec = engine.kernels[kernel_idx].spec
+            if spec.max_tbs_per_sm(self.config.sm) <= live:
+                continue
+            if live >= target and sm.resources.can_admit(spec):
+                self._raise_target(engine, sm, kernel_idx)
+                return True
+            if not swaps_allowed:
+                continue
+            # Either the target itself needs room (live < target) or the
+            # target must grow by one; both require evicting a victim.
+            victim = self._choose_victim(engine, sm, kernel_idx, qos_indices,
+                                         nonqos_indices, ipc_history, ipc_goals)
+            if victim is None:
+                continue
+            victim_idx, evict_count = victim
+            victim_live = sm.tb_count[victim_idx]
+            # Lower the victim target below its live count so the engine
+            # actually context-switches TBs out (not just stops refilling).
+            engine.set_tb_target(sm.sm_id, victim_idx,
+                                 max(0, victim_live - evict_count))
+            self.evictions_requested += evict_count
+            if live >= target:
+                self._raise_target(engine, sm, kernel_idx)
+            return True
+        return False
+
+    def _raise_target(self, engine, sm, kernel_idx) -> None:
+        current = engine.tb_targets[sm.sm_id][kernel_idx]
+        engine.set_tb_target(sm.sm_id, kernel_idx, current + 1)
+        self.grants += 1
+
+    # ------------------------------------------------------- victim choice
+
+    def _choose_victim(self, engine, sm, beneficiary_idx, qos_indices,
+                       nonqos_indices, ipc_history, ipc_goals):
+        """Pick (victim kernel, TBs to evict) per the Section 3.6 rules.
+
+        Eligible victims: any non-QoS kernel; a QoS kernel with at least
+        n+1 idle TBs; or a QoS kernel whose history leaves margin:
+        IPC_history x (1 - n/N) > IPC_goal.  Non-QoS victims are preferred
+        (the one with the most TBs on this SM); QoS victims by margin.
+        """
+        spec = engine.kernels[beneficiary_idx].spec
+        candidates = []
+        for victim_idx in list(nonqos_indices) + list(qos_indices):
+            if victim_idx == beneficiary_idx:
+                continue
+            live = sm.tb_count[victim_idx]
+            if live == 0:
+                continue
+            needed = self._tbs_to_vacate(engine, sm, spec, victim_idx)
+            if needed is None or needed > live:
+                continue
+            if victim_idx in nonqos_indices:
+                candidates.append((0, -live, victim_idx, needed))
+                continue
+            idle_tbs = self._idle_tbs(sm, victim_idx)
+            history = ipc_history.get(victim_idx, 0.0)
+            total_tbs = engine.total_tbs(victim_idx)
+            margin_ok = (total_tbs > 0 and
+                         history * (1 - needed / total_tbs) > ipc_goals[victim_idx])
+            if idle_tbs >= needed + 1 or margin_ok:
+                surplus = history - ipc_goals[victim_idx]
+                candidates.append((1, -surplus, victim_idx, needed))
+        if not candidates:
+            return None
+        candidates.sort()
+        _tier, _key, victim_idx, needed = candidates[0]
+        return victim_idx, needed
+
+    def _tbs_to_vacate(self, engine, sm, spec, victim_idx) -> Optional[int]:
+        """How many victim TBs free enough resources for one TB of ``spec``."""
+        victim_spec = engine.kernels[victim_idx].spec
+        demand = spec.resource_vector()
+        per_victim_tb = victim_spec.resource_vector()
+        resources = sm.resources
+        cfg = resources.config
+        free = {
+            "registers_bytes": cfg.registers_bytes - resources.registers_bytes,
+            "shared_memory_bytes": cfg.shared_memory_bytes - resources.shared_memory_bytes,
+            "threads": cfg.max_threads - resources.threads,
+            "tbs": cfg.max_tbs - resources.tbs,
+        }
+        needed = 0
+        for key, amount in demand.items():
+            shortfall = amount - free[key]
+            if shortfall <= 0:
+                continue
+            per_tb = per_victim_tb[key]
+            if per_tb <= 0:
+                return None  # victim cannot free this resource at all
+            needed = max(needed, math.ceil(shortfall / per_tb))
+        return max(needed, 1)
+
+    # -------------------------------------------------------------- helpers
+
+    def _idle_tbs(self, sm, kernel_idx) -> float:
+        """Mean idle warps expressed in TBs (Section 3.6's idle-TB measure)."""
+        warps_per_tb = sm.runtimes[kernel_idx].warps_per_tb
+        return sm.mean_idle_warps(kernel_idx) / warps_per_tb
+
+    def _grow_into_free(self, engine, sm, nonqos_indices, resident) -> bool:
+        """Let a non-QoS kernel take one more TB if resources are just free.
+
+        This keeps the machine full without touching anyone else; growth by
+        eviction is reserved for lagging QoS kernels and for reclaims from
+        over-achieving QoS kernels.
+        """
+        for kernel_idx in nonqos_indices:
+            if kernel_idx not in resident:
+                continue
+            if sm.tb_count[kernel_idx] < engine.tb_targets[sm.sm_id][kernel_idx]:
+                continue
+            if (sm.tb_count[kernel_idx] > 0
+                    and self._idle_tbs(sm, kernel_idx) > IDLE_TB_SLACK):
+                continue
+            spec = engine.kernels[kernel_idx].spec
+            if not sm.resources.can_admit(spec):
+                continue
+            self._raise_target(engine, sm, kernel_idx)
+            return True
+        return False
+
+    def _reclaim_for_nonqos(self, engine, sm, qos_indices, nonqos_indices,
+                            ipc_history, ipc_goals, resident) -> None:
+        """Return a TB from an over-achieving QoS kernel to the non-QoS side.
+
+        "Just enough" resources (Section 3): once a QoS kernel holds more
+        TLP than its (throttled) quota can use, parking those TBs only
+        starves the non-QoS kernels.  A QoS kernel whose recent IPC would
+        stay ``RECLAIM_MARGIN`` above goal with one TB fewer donates one TB
+        to a TLP-starved non-QoS kernel on this SM.
+        """
+        receiver = None
+        for kernel_idx in nonqos_indices:
+            if kernel_idx not in resident:
+                continue
+            if sm.tb_count[kernel_idx] < engine.tb_targets[sm.sm_id][kernel_idx]:
+                return  # a previous reclaim is still materialising
+            if (sm.tb_count[kernel_idx] == 0
+                    or self._idle_tbs(sm, kernel_idx) <= IDLE_TB_SLACK):
+                receiver = kernel_idx
+                break
+        if receiver is None:
+            return
+        for donor_idx in qos_indices:
+            live = sm.tb_count[donor_idx]
+            if live <= 1:
+                continue
+            total = engine.total_tbs(donor_idx)
+            history = ipc_history.get(donor_idx, 0.0)
+            if history < ipc_goals[donor_idx]:
+                continue  # never take TBs from a kernel still catching up
+            needed = self._tbs_to_vacate(engine, sm,
+                                         engine.kernels[receiver].spec,
+                                         donor_idx)
+            if needed is None or needed >= live:
+                continue
+            # Donor eligibility mirrors the Section 3.6 victim rules with
+            # hysteresis: enough idle TBs that losing `needed` leaves slack
+            # (rule 2), or enough IPC margin to absorb the loss (rule 3).
+            idle_slack = self._idle_tbs(sm, donor_idx) >= needed + 2
+            predicted = history * (1 - needed / max(1, total))
+            margin = predicted > ipc_goals[donor_idx] * RECLAIM_MARGIN
+            if not (idle_slack or margin):
+                continue
+            engine.set_tb_target(sm.sm_id, donor_idx, live - needed)
+            self.evictions_requested += needed
+            self._raise_target(engine, sm, receiver)
+            return

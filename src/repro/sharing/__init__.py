@@ -1,0 +1,20 @@
+"""Sharing regimes from the paper's design space (Section 2.3, Figure 2).
+
+The paper positions its contribution against three other ways of running
+multiple kernels on one GPU:
+
+* **Time multiplexing** (Figure 2a, the "third type" of sharing) —
+  :class:`SerialPolicy`: kernels take turns owning the whole GPU, switching
+  at slice boundaries via SM-wide context switch.
+* **Spatial partitioning** (Figure 2b) — :class:`repro.baselines.SpartPolicy`.
+* **Fine-grained SMK sharing** (Figure 2c) — the base
+  :class:`repro.sim.SharingPolicy` (unmanaged) and
+  :class:`FairSMKPolicy`, the *fairness*-oriented manager of the SMK paper
+  [42] that the QoS design explicitly contrasts itself with: fairness
+  equalises slowdown across all kernels, QoS differentiates it.
+"""
+
+from repro.sharing.serial import SerialPolicy
+from repro.sharing.fairness import FairSMKPolicy
+
+__all__ = ["SerialPolicy", "FairSMKPolicy"]

@@ -1,0 +1,106 @@
+"""Fairness management over SMK sharing, after Wang et al. [41, 42].
+
+Section 2.3: "Fine-grained sharing through Simultaneous Multikernel manages
+resources to achieve fair execution among sharer kernels, meaning that the
+kernel's performance in a shared mode degrades equally when compared with
+isolated execution."  Section 3 then contrasts: "if a kernel's performance
+goal should be achieved, then policies for fairness should not be enforced"
+— fairness and QoS are different allocation problems over the same
+machinery, and the paper's firmware "can simply switch between different
+policies as needed".
+
+:class:`FairSMKPolicy` implements the fairness side: each epoch it compares
+per-kernel *slowdown* (shared IPC / isolated IPC) and moves one TB per SM
+from the least-slowed kernel to the most-slowed one, converging toward
+equal normalised progress.  It needs each kernel's isolated IPC as an
+input, exactly as [42]'s dynamic partitioning does.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.sim.engine import GPUSimulator, SharingPolicy
+
+#: Minimum slowdown gap before TBs are moved (hysteresis against thrash).
+FAIRNESS_GAP = 0.08
+
+
+class FairSMKPolicy(SharingPolicy):
+    """Equalise per-kernel slowdown via TB reallocation (no quotas)."""
+
+    uses_quotas = False
+    name = "fair-smk"
+
+    def __init__(self, isolated_ipc: Dict[str, float]):
+        if not isolated_ipc:
+            raise ValueError("fairness needs isolated IPCs to normalise against")
+        for name, value in isolated_ipc.items():
+            if value <= 0:
+                raise ValueError(f"isolated IPC for {name} must be positive")
+        self.isolated_ipc = dict(isolated_ipc)
+        self.slowdowns: Dict[int, float] = {}
+        self.moves = 0
+        self._last_retired: List[int] = []
+        self._last_cycle = 0
+
+    # -------------------------------------------------------------- lifecycle
+
+    def setup(self, engine: GPUSimulator) -> None:
+        for launch in engine.kernels:
+            if launch.spec.name not in self.isolated_ipc:
+                raise ValueError(
+                    f"no isolated IPC provided for kernel {launch.spec.name!r}")
+        self._last_retired = [0] * engine.num_kernels
+        # Start from an even split of each SM's thread budget.
+        share = engine.config.sm.max_threads // engine.num_kernels
+        for sm_id in range(engine.config.num_sms):
+            for kernel_idx, launch in enumerate(engine.kernels):
+                target = max(1, share // launch.spec.threads_per_tb)
+                engine.set_tb_target(sm_id, kernel_idx, target)
+
+    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+                       epoch_index: int) -> None:
+        if epoch_index == 0:
+            return
+        epoch_cycles = max(1, cycle - self._last_cycle)
+        for idx, stats in enumerate(engine.kernel_stats):
+            delta = stats.retired_thread_insts - self._last_retired[idx]
+            ipc = delta / epoch_cycles
+            name = engine.kernels[idx].spec.name
+            self.slowdowns[idx] = ipc / self.isolated_ipc[name]
+            self._last_retired[idx] = stats.retired_thread_insts
+        self._last_cycle = cycle
+        if engine.num_kernels > 1 and not engine.preemption.has_pending:
+            self._rebalance(engine)
+
+    # ------------------------------------------------------------- balancing
+
+    def _rebalance(self, engine: GPUSimulator) -> None:
+        """Move one TB per SM from the least to the most slowed kernel."""
+        fastest = max(self.slowdowns, key=self.slowdowns.get)
+        slowest = min(self.slowdowns, key=self.slowdowns.get)
+        if fastest == slowest:
+            return
+        gap = self.slowdowns[fastest] - self.slowdowns[slowest]
+        if gap < FAIRNESS_GAP:
+            return
+        for sm in engine.sms:
+            if sm.tb_count[fastest] <= 1:
+                continue
+            engine.set_tb_target(sm.sm_id, fastest,
+                                 sm.tb_count[fastest] - 1)
+            engine.set_tb_target(sm.sm_id, slowest,
+                                 engine.tb_targets[sm.sm_id][slowest] + 1)
+            self.moves += 1
+            return  # one move per epoch: hill-climbing pace
+
+    # --------------------------------------------------------------- metrics
+
+    def fairness_index(self) -> float:
+        """Min/max slowdown ratio: 1.0 is perfectly fair (as in [42])."""
+        if not self.slowdowns:
+            return 1.0
+        values = list(self.slowdowns.values())
+        top = max(values)
+        return (min(values) / top) if top > 0 else 1.0

@@ -1,0 +1,52 @@
+"""Time-multiplexed kernel execution (Figure 2a).
+
+The pre-preemption state of practice (Section 2.3's "third type"): kernels
+take turns owning the entire GPU.  We model a round-robin scheduler with a
+slice of ``slice_epochs`` epochs; at each slice boundary the outgoing
+kernel's TBs are context-switched out (paying the full preemption cost) and
+the incoming kernel fills every SM.
+
+This is the regime whose weaknesses motivate the paper: resource
+under-utilisation inside each SM, long-kernel head-of-line blocking, and —
+without quota machinery — only the coarsest control over progress rates.
+"""
+
+from __future__ import annotations
+
+from repro.sim.engine import GPUSimulator, SharingPolicy
+
+
+class SerialPolicy(SharingPolicy):
+    """Round-robin whole-GPU time multiplexing."""
+
+    uses_quotas = False
+    name = "serial"
+
+    def __init__(self, slice_epochs: int = 1):
+        if slice_epochs <= 0:
+            raise ValueError("slice_epochs must be positive")
+        self.slice_epochs = slice_epochs
+        self.current = 0
+        self.switches = 0
+
+    def setup(self, engine: GPUSimulator) -> None:
+        self._own_gpu(engine, self.current)
+
+    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+                       epoch_index: int) -> None:
+        if epoch_index == 0 or engine.num_kernels == 1:
+            return
+        if epoch_index % self.slice_epochs != 0:
+            return
+        if engine.preemption.has_pending:
+            return  # let the previous switch drain before the next
+        self.current = (self.current + 1) % engine.num_kernels
+        self._own_gpu(engine, self.current)
+        self.switches += 1
+
+    def _own_gpu(self, engine: GPUSimulator, owner: int) -> None:
+        max_tbs = engine.config.sm.max_tbs
+        for sm_id in range(engine.config.num_sms):
+            for kernel_idx in range(engine.num_kernels):
+                target = max_tbs if kernel_idx == owner else 0
+                engine.set_tb_target(sm_id, kernel_idx, target)

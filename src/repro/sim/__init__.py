@@ -1,0 +1,39 @@
+"""A cycle-level simulator of a multitasking GPU.
+
+This package is the substrate the paper builds on (GPGPU-Sim in the
+original): streaming multiprocessors with per-cycle warp issue under GTO
+scheduling, a two-level cache hierarchy over bandwidth-limited memory
+controllers, TB dispatch with full static-resource accounting, and a
+preemption engine implementing partial context switch so that per-SM kernel
+residency can be changed at run time (Simultaneous Multikernel sharing).
+
+The QoS mechanisms of the paper plug in as a :class:`SharingPolicy`:
+the policy owns per-SM quota counters (read by the Enhanced Warp Scheduler
+filter inside each SM), receives epoch callbacks, and steers TB residency
+targets that the engine realises through dispatch and preemption.
+"""
+
+from repro.sim.cache import Cache
+from repro.sim.memory import MemorySubsystem
+from repro.sim.warp import Warp, WarpState
+from repro.sim.scheduler import GTOScheduler, LRRScheduler, make_scheduler
+from repro.sim.tb import SMResources, ThreadBlock
+from repro.sim.stats import KernelStats, SimulationResult
+from repro.sim.engine import GPUSimulator, LaunchedKernel, SharingPolicy
+
+__all__ = [
+    "Cache",
+    "MemorySubsystem",
+    "Warp",
+    "WarpState",
+    "GTOScheduler",
+    "LRRScheduler",
+    "make_scheduler",
+    "SMResources",
+    "ThreadBlock",
+    "KernelStats",
+    "SimulationResult",
+    "GPUSimulator",
+    "LaunchedKernel",
+    "SharingPolicy",
+]

@@ -1,0 +1,95 @@
+"""A set-associative LRU cache model.
+
+Operates on *line numbers* (byte address // line size); the memory subsystem
+does the division once per request.  Allocate-on-miss for both reads and
+writes, LRU replacement.  Sets are small Python lists kept in LRU order
+(MRU at the tail) — for associativities up to 16 a list scan is faster than
+any fancier structure in CPython, and this is the hottest data structure in
+the simulator.
+"""
+
+from __future__ import annotations
+
+
+class Cache:
+    """One cache (an L1, or one memory controller's L2 slice).
+
+    Supports write-back state: :meth:`access_rw` marks written lines dirty
+    and reports the evicted line when a dirty victim must be written back.
+    The plain :meth:`access` treats the touch as a clean read.
+    """
+
+    __slots__ = ("num_sets", "assoc", "line_size", "sets", "hits", "misses",
+                 "dirty", "writebacks")
+
+    def __init__(self, size_bytes: int, assoc: int, line_size: int):
+        if size_bytes <= 0 or assoc <= 0 or line_size <= 0:
+            raise ValueError("cache geometry must be positive")
+        num_sets = size_bytes // (assoc * line_size)
+        if num_sets == 0:
+            raise ValueError("cache smaller than one set")
+        self.num_sets = num_sets
+        self.assoc = assoc
+        self.line_size = line_size
+        self.sets = [[] for _ in range(num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.dirty = set()
+        self.writebacks = 0
+
+    def access(self, line: int) -> bool:
+        """Touch a line with a read; returns True on hit (allocates on miss)."""
+        hit, _writeback = self.access_rw(line, is_write=False)
+        return hit
+
+    def access_rw(self, line: int, is_write: bool):
+        """Touch a line; returns (hit, evicted_dirty_line_or_None).
+
+        Writes mark the line dirty; when a dirty line is evicted its id is
+        returned so the caller can charge the write-back traffic.
+        """
+        line_set = self.sets[line % self.num_sets]
+        writeback = None
+        if line in line_set:
+            if line_set[-1] != line:
+                line_set.remove(line)
+                line_set.append(line)
+            self.hits += 1
+            if is_write:
+                self.dirty.add(line)
+            return True, None
+        self.misses += 1
+        line_set.append(line)
+        if is_write:
+            self.dirty.add(line)
+        if len(line_set) > self.assoc:
+            victim = line_set[0]
+            del line_set[0]
+            if victim in self.dirty:
+                self.dirty.discard(victim)
+                self.writebacks += 1
+                writeback = victim
+        return False, writeback
+
+    def probe(self, line: int) -> bool:
+        """Check residency without updating LRU state or counters."""
+        return line in self.sets[line % self.num_sets]
+
+    def flush(self) -> None:
+        """Drop all contents (used when an SM is repartitioned)."""
+        for line_set in self.sets:
+            del line_set[:]
+        self.dirty.clear()
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.accesses
+        return self.hits / total if total else 0.0
+
+    def __repr__(self) -> str:
+        return (f"Cache(sets={self.num_sets}, assoc={self.assoc}, "
+                f"hit_rate={self.hit_rate:.3f})")

@@ -1,0 +1,304 @@
+"""The top-level GPU simulator and the sharing-policy plug-in interface.
+
+:class:`GPUSimulator` owns the machine (SMs, memory, preemption engine) and
+the launched kernels; a :class:`SharingPolicy` owns the *decisions*: initial
+TB residency targets, per-epoch quota refresh, and run-time TB reallocation.
+The engine realises residency targets through dispatch and partial context
+switch, fires epoch and quota-exhaustion callbacks, and accounts statistics.
+
+Epochs default to ``config.epoch_length`` cycles, but a policy may pull the
+next boundary forward by writing ``engine.next_epoch_at`` (Elastic Epoch,
+Section 3.4.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.config import GPUConfig
+from repro.kernels.spec import KernelSpec
+from repro.sim.kernel_runtime import KernelRuntime
+from repro.sim.memory import MemorySubsystem
+from repro.sim.preemption import PreemptionEngine
+from repro.sim.sm import SM
+from repro.sim.stats import KernelResult, KernelStats, SimulationResult
+
+_FOREVER = 1 << 62
+
+
+@dataclass
+class LaunchedKernel:
+    """One kernel resident on the simulated GPU.
+
+    ``ipc_goal`` is the architecture-level target derived from the
+    application's QoS requirement (Section 3.2), in retired thread
+    instructions per cycle, aggregated over the whole GPU.  Non-QoS kernels
+    leave it ``None``.
+    """
+
+    spec: KernelSpec
+    is_qos: bool = False
+    ipc_goal: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.is_qos and (self.ipc_goal is None or self.ipc_goal <= 0):
+            raise ValueError(f"QoS kernel {self.spec.name} needs a positive ipc_goal")
+
+
+class SharingPolicy:
+    """Base sharing policy: fill every SM with every kernel, no QoS.
+
+    Subclasses (the paper's QoS manager, Spart, serial execution) override
+    the three hooks.  ``uses_quotas`` switches the Enhanced Warp Scheduler
+    filter on in every SM.
+    """
+
+    name = "smk-unmanaged"
+    uses_quotas = False
+
+    def setup(self, engine: "GPUSimulator") -> None:
+        """Set initial TB residency targets (default: greedy fill)."""
+        for sm_id in range(engine.config.num_sms):
+            for kernel_idx in range(engine.num_kernels):
+                engine.tb_targets[sm_id][kernel_idx] = engine.config.sm.max_tbs
+
+    def on_epoch_start(self, engine: "GPUSimulator", cycle: int,
+                       epoch_index: int) -> None:
+        """Called at every epoch boundary (including epoch 0 at setup)."""
+
+    def on_quota_exhausted(self, engine: "GPUSimulator", sm: SM,
+                           kernel_idx: int, cycle: int) -> None:
+        """Called when a kernel's local quota counter crosses zero."""
+
+
+class GPUSimulator:
+    """Cycle-level simulator of one GPU shared by ``kernels``."""
+
+    def __init__(self, config: GPUConfig, kernels: List[LaunchedKernel],
+                 policy: Optional[SharingPolicy] = None):
+        if not kernels:
+            raise ValueError("at least one kernel must be launched")
+        names = [k.spec.name for k in kernels]
+        if len(set(names)) != len(names):
+            raise ValueError(f"kernel names must be unique, got {names}")
+        self.config = config
+        self.kernels = list(kernels)
+        self.num_kernels = len(kernels)
+        self.policy = policy if policy is not None else SharingPolicy()
+        self.memory = MemorySubsystem(config, self.num_kernels)
+        self.runtimes = [
+            KernelRuntime(idx, launch.spec, config.memory.line_size)
+            for idx, launch in enumerate(kernels)
+        ]
+        self.kernel_stats = [KernelStats() for _ in kernels]
+        self.preemption = PreemptionEngine(config.preemption)
+        self.sms: List[SM] = [
+            SM(sm_id, config, self.runtimes, self.memory, self.kernel_stats,
+               self._on_quota_exhausted, self._on_tb_finished)
+            for sm_id in range(config.num_sms)
+        ]
+        self.tb_targets: List[List[int]] = [
+            [0] * self.num_kernels for _ in range(config.num_sms)
+        ]
+        self._next_tb_id = [0] * self.num_kernels
+        self.cycle = 0
+        self.epoch_index = 0
+        self.next_epoch_at = config.epoch_length
+        self.sample_interval = max(1, config.epoch_length // config.idle_warp_samples)
+        self.next_sample_at = self.sample_interval
+        self._configured = False
+        self._measure_from_cycle = 0
+        self._retired_baseline = [0] * self.num_kernels
+        self._tbs_baseline = [0] * self.num_kernels
+        self._memory_baseline = [dict() for _ in range(self.num_kernels)]
+        self._aggregate_baseline: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- lifecycle
+
+    def setup(self) -> None:
+        """Apply the policy's initial allocation and dispatch the first TBs."""
+        if self._configured:
+            return
+        if self.policy.uses_quotas:
+            for sm in self.sms:
+                sm.quota_enabled = True
+        # _configured stays False during policy.setup so that target-setting
+        # does not dispatch eagerly: the balanced round-robin fill below only
+        # runs once every kernel's targets are in place.
+        self.policy.setup(self)
+        self._configured = True
+        for sm in self.sms:
+            self._dispatch_sm(sm, 0)
+        self.policy.on_epoch_start(self, 0, 0)
+
+    def run(self, num_cycles: int) -> None:
+        """Advance the machine by ``num_cycles`` cycles."""
+        self.setup()
+        end_cycle = self.cycle + num_cycles
+        sms = self.sms
+        preemption = self.preemption
+        while self.cycle < end_cycle:
+            cycle = self.cycle
+            next_done = preemption.next_completion
+            if next_done is not None and next_done <= cycle:
+                for sm, tb in preemption.pop_completed(cycle):
+                    sm.remove_tb(tb)
+                    self._dispatch_sm(sm, cycle)
+            if cycle >= self.next_epoch_at:
+                self._begin_epoch(cycle)
+            sample = cycle >= self.next_sample_at
+            if sample:
+                self.next_sample_at = cycle + self.sample_interval
+            issued = 0
+            for sm in sms:
+                issued += sm.step(cycle, sample)
+            self.cycle = cycle + 1
+            if issued == 0:
+                self._skip_idle(end_cycle)
+
+    def _begin_epoch(self, cycle: int) -> None:
+        self.epoch_index += 1
+        self.next_epoch_at = cycle + self.config.epoch_length
+        self.policy.on_epoch_start(self, cycle, self.epoch_index)
+        for sm in self.sms:
+            sm.reset_epoch_sampling()
+
+    def _skip_idle(self, end_cycle: int) -> None:
+        """Jump over cycles in which no warp can possibly issue."""
+        wake = self.next_epoch_at
+        next_done = self.preemption.next_completion
+        if next_done is not None and next_done < wake:
+            wake = next_done
+        if self.next_sample_at < wake:
+            wake = self.next_sample_at
+        for sm in self.sms:
+            for scheduler in sm.schedulers:
+                if scheduler.sleep_until < wake:
+                    wake = scheduler.sleep_until
+        if wake > self.cycle:
+            self.cycle = min(wake, end_cycle)
+
+    # -------------------------------------------------------------- residency
+
+    def set_tb_target(self, sm_id: int, kernel_idx: int, target: int) -> None:
+        """Set how many TBs of a kernel the SM should host; the engine
+        dispatches or context-switches TBs to converge on the target."""
+        if target < 0:
+            raise ValueError("TB target must be non-negative")
+        self.tb_targets[sm_id][kernel_idx] = target
+        sm = self.sms[sm_id]
+        excess = self._live_tbs(sm, kernel_idx) - target
+        while excess > 0:
+            victim = sm.pick_eviction_victim(kernel_idx)
+            if victim is None:
+                break
+            self.preemption.begin_eviction(sm, victim, self.cycle)
+            excess -= 1
+        if excess < 0 and self._configured:
+            self._dispatch_sm(sm, self.cycle)
+
+    def _live_tbs(self, sm: SM, kernel_idx: int) -> int:
+        return sum(1 for tb in sm.tbs
+                   if tb.kernel_idx == kernel_idx and not tb.evicting)
+
+    def _dispatch_sm(self, sm: SM, cycle: int) -> None:
+        """Deficit-first fill: the kernel furthest below its target (as a
+        fraction of the target) gets the next TB, so infeasible targets
+        degrade into a balanced allocation and a kernel that once hogged the
+        SM cannot monopolise refills after TB turnover."""
+        targets = self.tb_targets[sm.sm_id]
+        while True:
+            best_idx = -1
+            best_ratio = 1.0
+            for kernel_idx in range(self.num_kernels):
+                target = targets[kernel_idx]
+                if target <= 0:
+                    continue
+                live = self._live_tbs(sm, kernel_idx)
+                if live >= target:
+                    continue
+                if not sm.resources.can_admit(self.kernels[kernel_idx].spec):
+                    continue
+                ratio = live / target
+                if ratio < best_ratio or best_idx < 0:
+                    best_idx = kernel_idx
+                    best_ratio = ratio
+            if best_idx < 0:
+                return
+            tb_id = self._next_tb_id[best_idx]
+            self._next_tb_id[best_idx] += 1
+            sm.dispatch_tb(best_idx, tb_id, cycle)
+
+    def total_tbs(self, kernel_idx: int) -> int:
+        """Live (non-evicting) TBs of a kernel across the whole GPU."""
+        return sum(self._live_tbs(sm, kernel_idx) for sm in self.sms)
+
+    # -------------------------------------------------------------- callbacks
+
+    def _on_tb_finished(self, sm: SM, tb, cycle: int) -> None:
+        self.kernel_stats[tb.kernel_idx].completed_tbs += 1
+        sm.remove_tb(tb)
+        self._dispatch_sm(sm, cycle)
+
+    def _on_quota_exhausted(self, sm: SM, kernel_idx: int, cycle: int) -> None:
+        self.policy.on_quota_exhausted(self, sm, kernel_idx, cycle)
+
+    # ----------------------------------------------------------------- output
+
+    def mark_measurement_start(self) -> None:
+        """Exclude everything before the current cycle from result IPCs.
+
+        Simulation warm-up (TB dispatch ramp, cold caches) is excluded from
+        measurement by convention in architecture studies; at the paper's
+        2M-cycle windows the ramp is negligible, but at the harness's fast
+        preset it would bias every IPC by several percent.
+        """
+        self._measure_from_cycle = self.cycle
+        for idx, stats in enumerate(self.kernel_stats):
+            self._retired_baseline[idx] = stats.retired_thread_insts
+            self._tbs_baseline[idx] = stats.completed_tbs
+            self._memory_baseline[idx] = self.memory.kernel_stats[idx].as_dict()
+        self._aggregate_baseline = self.memory.aggregate()
+
+    def result(self) -> SimulationResult:
+        """Snapshot the run into a :class:`SimulationResult`."""
+        cycles = max(1, self.cycle - self._measure_from_cycle)
+        kernel_results = []
+        for idx, launch in enumerate(self.kernels):
+            stats = self.kernel_stats[idx]
+            retired = stats.retired_thread_insts - self._retired_baseline[idx]
+            memory = self.memory.kernel_stats[idx].as_dict()
+            baseline = self._memory_baseline[idx]
+            memory = {key: value - baseline.get(key, 0)
+                      for key, value in memory.items()}
+            kernel_results.append(KernelResult(
+                name=launch.spec.name,
+                retired_thread_insts=retired,
+                cycles=cycles,
+                completed_tbs=stats.completed_tbs - self._tbs_baseline[idx],
+                ipc=retired / cycles,
+                memory=memory,
+                ipc_goal=launch.ipc_goal,
+                is_qos=launch.is_qos,
+            ))
+        issue_capacity = max(1, self.cycle) * self.config.sm.warp_schedulers
+        sm_activity = [min(1.0, sm.issued_total / issue_capacity)
+                       for sm in self.sms]
+        aggregate = {key: value - self._aggregate_baseline.get(key, 0)
+                     for key, value in self.memory.aggregate().items()}
+        return SimulationResult(
+            cycles=cycles,
+            kernels=kernel_results,
+            memory_aggregate=aggregate,
+            epochs=self.epoch_index,
+            evictions=self.preemption.evictions,
+            eviction_stall_cycles=self.preemption.stall_cycles,
+            extra={"mean_sm_activity": sum(sm_activity) / len(sm_activity),
+                   "wasted_thread_insts": self.preemption.wasted_thread_insts},
+        )
+
+    def ipc_snapshot(self) -> Dict[int, int]:
+        """Per-kernel retired thread instructions (for epoch IPC deltas)."""
+        return {idx: stats.retired_thread_insts
+                for idx, stats in enumerate(self.kernel_stats)}

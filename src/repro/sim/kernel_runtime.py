@@ -1,0 +1,57 @@
+"""Per-launch precomputed kernel constants.
+
+A :class:`KernelRuntime` is created once per launched kernel and shared by
+all of its warps: the expanded warp program, the address-generation
+thresholds as raw 32-bit integers (so the warp LCG can be compared without
+float math), and the kernel's private slice of the line-address space.
+
+Kernels get disjoint address bases: co-runners never share data, but they do
+contend for L2 capacity and memory-controller bandwidth — exactly the
+interference the paper manages.
+"""
+
+from __future__ import annotations
+
+from repro.kernels.spec import KernelSpec
+from repro.kernels.trace import WarpProgram
+
+_UINT32 = 1 << 32
+_BASE_STRIDE_LINES = 1 << 34  # kernels live 2^34 lines apart
+
+
+class KernelRuntime:
+    """Immutable per-launch constants shared by a kernel's warps."""
+
+    __slots__ = (
+        "kernel_idx", "spec", "program", "base_line", "footprint_lines",
+        "reuse_threshold", "coalesce_threshold", "uncoalesced_degree",
+        "program_length", "warps_per_tb",
+    )
+
+    def __init__(self, kernel_idx: int, spec: KernelSpec, line_size: int):
+        self.kernel_idx = kernel_idx
+        self.spec = spec
+        self.program = WarpProgram.for_spec(spec)
+        self.program_length = self.program.length
+        self.warps_per_tb = spec.warps_per_tb
+        self.base_line = kernel_idx * _BASE_STRIDE_LINES
+        self.footprint_lines = max(1, spec.memory.footprint_bytes // line_size)
+        reuse = spec.memory.reuse_fraction
+        coalesced = spec.memory.coalesced_fraction
+        # The warp LCG value r in [0, 2^32) selects: reuse if r < reuse_thr,
+        # coalesced stream if r < coalesce_thr, else uncoalesced fan-out.
+        self.reuse_threshold = int(reuse * _UINT32)
+        self.coalesce_threshold = int((reuse + (1.0 - reuse) * coalesced) * _UINT32)
+        self.uncoalesced_degree = spec.memory.uncoalesced_degree
+
+    def start_cursor(self, tb_id: int, warp_id_in_tb: int) -> int:
+        """Spread warps' streaming cursors across the footprint.
+
+        TBs start at evenly spaced offsets and warps within a TB are offset
+        by a few lines each, approximating how real grids tile their input.
+        """
+        tb_offset = (tb_id * 7919 * 64) % self.footprint_lines
+        return (tb_offset + warp_id_in_tb * 4) % self.footprint_lines
+
+    def warp_seed(self, tb_id: int, warp_id_in_tb: int) -> int:
+        return (hash((self.kernel_idx, tb_id, warp_id_in_tb)) & 0xFFFFFFFF) | 1

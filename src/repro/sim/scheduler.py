@@ -1,0 +1,122 @@
+"""Warp issue policies.
+
+Each SM has ``warp_schedulers`` independent schedulers; warps are distributed
+across them at TB dispatch (Section 2.2).  The Table 1 policy is **GTO**
+(greedy-then-oldest): keep issuing from the last warp while it stays ready,
+otherwise fall back to the oldest ready warp.  **LRR** (loose round robin) is
+provided for ablations.
+
+The quota filter of the Enhanced Warp Scheduler (Section 3.3) enters here as
+the ``quota_ok`` boolean list indexed by kernel: a warp whose kernel has
+exhausted its quota is invisible to selection, leaving the underlying policy
+untouched — "the original warp scheduling algorithm is used throughout the
+lifetime of kernels, except that kernels are throttled once their quotas are
+exhausted."
+
+Schedulers keep a ``sleep_until`` cycle: when a scan finds nothing ready the
+earliest wake-up among eligible warps is cached so stalled schedulers cost
+one comparison per cycle.  Any event that can create readiness out of band —
+TB dispatch, barrier release, quota refresh, unfreeze — must call ``wake()``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.sim.warp import Warp
+
+_NEVER = 1 << 62
+
+
+class GTOScheduler:
+    """Greedy-then-oldest warp scheduler."""
+
+    __slots__ = ("warps", "last", "sleep_until")
+
+    def __init__(self) -> None:
+        self.warps: List[Warp] = []
+        self.last: Optional[Warp] = None
+        self.sleep_until = 0
+
+    def add_warp(self, warp: Warp) -> None:
+        self.warps.append(warp)
+        self.wake()
+
+    def remove_warp(self, warp: Warp) -> None:
+        self.warps.remove(warp)
+        if self.last is warp:
+            self.last = None
+        self.wake()
+
+    def wake(self) -> None:
+        self.sleep_until = 0
+
+    def select(self, cycle: int, quota_ok) -> Optional[Warp]:
+        """Pick the warp to issue this cycle, or None."""
+        if cycle < self.sleep_until:
+            return None
+        last = self.last
+        if (last is not None and last.state == 0 and last.ready_at <= cycle
+                and quota_ok[last.kernel_idx]):
+            return last
+        earliest = _NEVER
+        for warp in self.warps:
+            if warp.state != 0 or not quota_ok[warp.kernel_idx]:
+                continue
+            if warp.ready_at <= cycle:
+                self.last = warp
+                return warp
+            if warp.ready_at < earliest:
+                earliest = warp.ready_at
+        self.sleep_until = earliest
+        return None
+
+    def ready_count(self, cycle: int, quota_ok) -> int:
+        """Warps that could issue this cycle (for idle-warp sampling)."""
+        count = 0
+        for warp in self.warps:
+            if warp.state == 0 and warp.ready_at <= cycle and quota_ok[warp.kernel_idx]:
+                count += 1
+        return count
+
+
+class LRRScheduler(GTOScheduler):
+    """Loose round robin: rotate priority among ready warps."""
+
+    __slots__ = ("_next_index",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._next_index = 0
+
+    def select(self, cycle: int, quota_ok) -> Optional[Warp]:
+        if cycle < self.sleep_until:
+            return None
+        warps = self.warps
+        count = len(warps)
+        if count == 0:
+            self.sleep_until = _NEVER
+            return None
+        earliest = _NEVER
+        start = self._next_index % count
+        for offset in range(count):
+            warp = warps[(start + offset) % count]
+            if warp.state != 0 or not quota_ok[warp.kernel_idx]:
+                continue
+            if warp.ready_at <= cycle:
+                self._next_index = (start + offset + 1) % count
+                self.last = warp
+                return warp
+            if warp.ready_at < earliest:
+                earliest = warp.ready_at
+        self.sleep_until = earliest
+        return None
+
+
+def make_scheduler(policy: str):
+    """Factory for the configured issue policy."""
+    if policy == "gto":
+        return GTOScheduler()
+    if policy == "lrr":
+        return LRRScheduler()
+    raise ValueError(f"unknown scheduler policy {policy!r}")

@@ -1,0 +1,13 @@
+"""Epoch-level telemetry: record and render what a policy did over time.
+
+:class:`TraceRecorder` wraps any :class:`repro.sim.SharingPolicy` and logs a
+per-epoch :class:`EpochSample` — per-kernel IPC, resident TBs, remaining
+quota, and (for QoS policies) alpha and the artificial non-QoS goals.
+:func:`render_timeline` turns a trace into an ASCII chart, which is how the
+examples visualise quota throttling and TB reallocation converging.
+"""
+
+from repro.trace.recorder import EpochSample, TraceRecorder
+from repro.trace.render import render_timeline, sparkline
+
+__all__ = ["EpochSample", "TraceRecorder", "render_timeline", "sparkline"]

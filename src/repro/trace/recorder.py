@@ -1,0 +1,92 @@
+"""Recording policy wrapper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.sim.engine import GPUSimulator, SharingPolicy
+
+
+@dataclass(frozen=True)
+class EpochSample:
+    """One epoch's state snapshot, taken at the epoch boundary."""
+
+    epoch_index: int
+    cycle: int
+    epoch_ipc: Tuple[float, ...]
+    total_tbs: Tuple[int, ...]
+    quota_remaining: Tuple[float, ...]
+    alphas: Dict[int, float] = field(default_factory=dict)
+    nonqos_goals: Dict[int, float] = field(default_factory=dict)
+
+
+class TraceRecorder(SharingPolicy):
+    """Wrap a policy and record an :class:`EpochSample` per epoch.
+
+    The sample is taken *before* delegating the boundary to the inner
+    policy, so ``quota_remaining`` shows the residual counters the scheme's
+    refresh rule is about to act on (the quantities in Figure 4), and
+    ``epoch_ipc`` covers the epoch that just ended.
+    """
+
+    def __init__(self, inner: SharingPolicy):
+        self.inner = inner
+        self.samples: List[EpochSample] = []
+        self._last_retired: List[int] = []
+        self._last_cycle = 0
+
+    @property
+    def uses_quotas(self) -> bool:
+        return self.inner.uses_quotas
+
+    @property
+    def name(self) -> str:
+        return f"traced-{self.inner.name}"
+
+    def setup(self, engine: GPUSimulator) -> None:
+        self._last_retired = [0] * engine.num_kernels
+        self.inner.setup(engine)
+
+    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+                       epoch_index: int) -> None:
+        if epoch_index > 0:
+            self.samples.append(self._sample(engine, cycle, epoch_index))
+        self.inner.on_epoch_start(engine, cycle, epoch_index)
+
+    def on_quota_exhausted(self, engine: GPUSimulator, sm, kernel_idx: int,
+                           cycle: int) -> None:
+        self.inner.on_quota_exhausted(engine, sm, kernel_idx, cycle)
+
+    # ------------------------------------------------------------- sampling
+
+    def _sample(self, engine: GPUSimulator, cycle: int,
+                epoch_index: int) -> EpochSample:
+        epoch_cycles = max(1, cycle - self._last_cycle)
+        ipc = []
+        for idx, stats in enumerate(engine.kernel_stats):
+            retired = stats.retired_thread_insts
+            ipc.append((retired - self._last_retired[idx]) / epoch_cycles)
+            self._last_retired[idx] = retired
+        self._last_cycle = cycle
+        quotas = tuple(
+            sum(sm.quota_counters[idx] for sm in engine.sms)
+            for idx in range(engine.num_kernels))
+        return EpochSample(
+            epoch_index=epoch_index,
+            cycle=cycle,
+            epoch_ipc=tuple(ipc),
+            total_tbs=tuple(engine.total_tbs(idx)
+                            for idx in range(engine.num_kernels)),
+            quota_remaining=quotas,
+            alphas=dict(getattr(self.inner, "alphas", {})),
+            nonqos_goals=dict(getattr(self.inner, "nonqos_goals", {})),
+        )
+
+    # -------------------------------------------------------------- queries
+
+    def ipc_series(self, kernel_idx: int) -> List[float]:
+        return [sample.epoch_ipc[kernel_idx] for sample in self.samples]
+
+    def tb_series(self, kernel_idx: int) -> List[int]:
+        return [sample.total_tbs[kernel_idx] for sample in self.samples]

@@ -1,0 +1,115 @@
+"""Tests for the set-associative cache model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cache import Cache
+
+
+def make_cache(sets=4, assoc=2, line_size=128):
+    return Cache(sets * assoc * line_size, assoc, line_size)
+
+
+class TestBasics:
+    def test_geometry(self):
+        cache = Cache(24 * 1024, 6, 128)
+        assert cache.num_sets == 32
+        assert cache.assoc == 6
+
+    def test_rejects_degenerate_geometry(self):
+        with pytest.raises(ValueError):
+            Cache(0, 4, 128)
+        with pytest.raises(ValueError):
+            Cache(64, 4, 128)  # smaller than one set
+
+    def test_cold_miss_then_hit(self):
+        cache = make_cache()
+        assert cache.access(42) is False
+        assert cache.access(42) is True
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_distinct_lines_in_same_set(self):
+        cache = make_cache(sets=4, assoc=2)
+        assert cache.access(0) is False
+        assert cache.access(4) is False  # same set (line % 4), second way
+        assert cache.access(0) is True
+        assert cache.access(4) is True
+
+
+class TestLRU:
+    def test_eviction_order(self):
+        cache = make_cache(sets=1, assoc=2, line_size=128)
+        cache.access(0)
+        cache.access(1)
+        cache.access(2)          # evicts 0 (LRU)
+        assert cache.probe(0) is False
+        assert cache.probe(1) is True
+        assert cache.probe(2) is True
+
+    def test_touch_refreshes_recency(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.access(0)
+        cache.access(1)
+        cache.access(0)          # 1 becomes LRU
+        cache.access(2)          # evicts 1
+        assert cache.probe(0) is True
+        assert cache.probe(1) is False
+
+    def test_probe_does_not_update_lru_or_counters(self):
+        cache = make_cache(sets=1, assoc=2)
+        cache.access(0)
+        cache.access(1)
+        hits, misses = cache.hits, cache.misses
+        cache.probe(0)           # 0 stays LRU despite the probe
+        assert (cache.hits, cache.misses) == (hits, misses)
+        cache.access(2)          # evicts 0, not 1
+        assert cache.probe(0) is False
+        assert cache.probe(1) is True
+
+
+class TestFlushAndStats:
+    def test_flush_empties(self):
+        cache = make_cache()
+        for line in range(8):
+            cache.access(line)
+        cache.flush()
+        assert all(cache.probe(line) is False for line in range(8))
+
+    def test_hit_rate(self):
+        cache = make_cache()
+        assert cache.hit_rate == 0.0
+        cache.access(1)
+        cache.access(1)
+        assert cache.hit_rate == 0.5
+        assert cache.accesses == 2
+
+
+class TestProperties:
+    @given(lines=st.lists(st.integers(min_value=0, max_value=200),
+                          min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_sets_never_exceed_associativity(self, lines):
+        cache = make_cache(sets=4, assoc=3)
+        for line in lines:
+            cache.access(line)
+        assert all(len(line_set) <= 3 for line_set in cache.sets)
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=200),
+                          min_size=1, max_size=300))
+    @settings(max_examples=50)
+    def test_lines_map_to_correct_set(self, lines):
+        cache = make_cache(sets=4, assoc=3)
+        for line in lines:
+            cache.access(line)
+        for set_index, line_set in enumerate(cache.sets):
+            assert all(line % 4 == set_index for line in line_set)
+
+    @given(lines=st.lists(st.integers(min_value=0, max_value=50),
+                          min_size=1, max_size=200))
+    @settings(max_examples=50)
+    def test_immediate_rereference_always_hits(self, lines):
+        cache = make_cache(sets=8, assoc=4)
+        for line in lines:
+            cache.access(line)
+            assert cache.access(line) is True

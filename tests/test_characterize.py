@@ -1,0 +1,95 @@
+"""Tests for workload characterisation — including the calibration
+regression: every Parboil model must measure in its declared class."""
+
+import pytest
+
+from repro.config import FAST_GPU, GPUConfig, SMConfig
+from repro.kernels import PARBOIL
+from repro.kernels.characterize import (
+    KernelProfile,
+    characterize,
+    characterize_suite,
+    format_profiles,
+)
+from repro.kernels.synthetic import compute_kernel, streaming_kernel
+
+TINY = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                 sm=SMConfig(warp_schedulers=2))
+
+
+def profile(name="p", declared="compute", bw=0.3, **kwargs):
+    defaults = dict(ipc=100.0, peak_fraction=0.5, l1_hit_rate=0.5,
+                    l2_hit_rate=0.5, dram_lines_per_kcycle=10.0,
+                    tlp_half_fraction=0.8)
+    defaults.update(kwargs)
+    return KernelProfile(name=name, declared_intensity=declared,
+                         bandwidth_utilisation=bw, **defaults)
+
+
+class TestClassification:
+    def test_low_bandwidth_is_compute(self):
+        assert profile(bw=0.3).measured_intensity == "C"
+
+    def test_high_bandwidth_is_memory(self):
+        assert profile(bw=0.9).measured_intensity == "M"
+
+    def test_consistency_flag(self):
+        assert profile(declared="compute", bw=0.3).classification_consistent
+        assert not profile(declared="compute", bw=0.9).classification_consistent
+        assert profile(declared="memory", bw=0.9).classification_consistent
+
+
+class TestCharacterize:
+    def test_compute_archetype_profile(self):
+        result = characterize(compute_kernel("char-c"), TINY, cycles=4000)
+        assert result.measured_intensity == "C"
+        assert result.peak_fraction > 0.5
+        assert 0.0 <= result.l1_hit_rate <= 1.0
+
+    def test_streaming_archetype_profile(self):
+        # Bandwidth classification needs the paper's 4:1 SM:MC ratio — on a
+        # 2:1 machine a single kernel is MSHR-limited before it can saturate
+        # the controller (Little's law), which is itself realistic.
+        result = characterize(streaming_kernel("char-m"), FAST_GPU,
+                              cycles=6000)
+        assert result.measured_intensity == "M"
+        assert result.bandwidth_utilisation > 0.6
+        # Memory-bound kernels lose nothing at half TLP.
+        assert result.tlp_half_fraction > 0.7
+
+    def test_starved_tlp_costs_throughput(self):
+        """Deep TLP cuts must cost throughput.  (Halving TLP alone can even
+        help high-reuse kernels by easing L1 pressure, so the sensitivity
+        check uses a 10% fill.)"""
+        from repro.kernels.characterize import _run
+        chain = compute_kernel("char-chain", ilp=0.05)
+        full = _run(chain, FAST_GPU, cycles=6000).kernels[0].ipc
+        starved = _run(chain, FAST_GPU, cycles=6000, fill=0.1).kernels[0].ipc
+        assert starved < 0.8 * full
+
+
+@pytest.mark.slow
+class TestParboilCalibration:
+    def test_every_model_measures_in_declared_class(self):
+        """The calibration regression behind Figure 7's C/M split."""
+        profiles = characterize_suite(cycles=16_000)
+        bad = [p.name for p in profiles if not p.classification_consistent]
+        assert not bad, f"misclassified models: {bad}"
+
+    def test_compute_models_far_faster(self):
+        profiles = {p.name: p for p in characterize_suite(cycles=8_000)}
+        slowest_compute = min(
+            p.ipc for p in profiles.values()
+            if p.declared_intensity == "compute")
+        fastest_memory = max(
+            p.ipc for p in profiles.values()
+            if p.declared_intensity == "memory")
+        assert slowest_compute > 2 * fastest_memory
+
+
+class TestFormat:
+    def test_format_contains_all_rows(self):
+        profiles = [profile(name=f"k{i}") for i in range(3)]
+        text = format_profiles(profiles)
+        for i in range(3):
+            assert f"k{i}" in text

@@ -1,0 +1,49 @@
+"""Tests for the command-line interface."""
+
+import pathlib
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.harness.experiments import ExperimentSuite
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig06a"])
+        assert args.experiment == "fig06a"
+        assert args.preset == "fast"
+        assert args.output_dir is None
+
+    def test_preset_choice(self):
+        args = build_parser().parse_args(["table1", "--preset", "smoke"])
+        assert args.preset == "smoke"
+
+    def test_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["table1", "--preset", "huge"])
+
+
+class TestMain:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id in ExperimentSuite.EXPERIMENTS:
+            assert experiment_id in out
+
+    def test_table1_runs(self, capsys):
+        assert main(["table1", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "GTO" in out
+
+    def test_output_dir(self, tmp_path, capsys):
+        assert main(["table2", "--preset", "smoke",
+                     "-o", str(tmp_path)]) == 0
+        written = tmp_path / "table2.txt"
+        assert written.exists()
+        assert "comparison with prior work" in written.read_text()
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ValueError):
+            main(["fig99", "--preset", "smoke"])

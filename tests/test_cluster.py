@@ -1,0 +1,168 @@
+"""Tests for the cluster scheduler and the online demand predictor."""
+
+import pytest
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.osched import (
+    Application,
+    ClusterScheduler,
+    GPUSlot,
+    OnlineDemandPredictor,
+)
+from repro.qos import TransferModel
+
+
+def tiny_gpu():
+    return GPUConfig(num_sms=2, num_mcs=1, epoch_length=400,
+                     idle_warp_samples=8, sm=SMConfig(warp_schedulers=2))
+
+
+def compute_app(name, qos=True, insts=50_000, period=2e-5):
+    spec = KernelSpec(
+        name=f"{name}-kernel", threads_per_tb=64, regs_per_thread=16,
+        mix=InstructionMix(alu=0.9, sfu=0.0, ldg=0.06, stg=0.02, lds=0.02),
+        memory=MemoryPattern(footprint_bytes=1 << 21, reuse_fraction=0.8),
+        ilp=0.8, body_length=16, iterations_per_tb=3)
+    return Application(name, spec, period_s=period,
+                       instructions_per_job=insts, qos=qos)
+
+
+def memory_app(name, qos=False, period=2e-5):
+    spec = KernelSpec(
+        name=f"{name}-kernel", threads_per_tb=64, regs_per_thread=16,
+        mix=InstructionMix(alu=0.35, sfu=0.0, ldg=0.5, stg=0.15, lds=0.0),
+        memory=MemoryPattern(footprint_bytes=1 << 27, reuse_fraction=0.0,
+                             coalesced_fraction=0.5, uncoalesced_degree=4),
+        ilp=0.2, body_length=16, iterations_per_tb=2, intensity="memory")
+    return Application(name, spec, period_s=period,
+                       instructions_per_job=1000, qos=qos)
+
+
+class TestPlacement:
+    def test_requires_fleet(self):
+        with pytest.raises(ValueError):
+            ClusterScheduler([])
+
+    def test_memory_tenants_spread_out(self):
+        scheduler = ClusterScheduler([tiny_gpu(), tiny_gpu()])
+        placements = scheduler.place([memory_app("m1"), memory_app("m2")])
+        assert placements["m1"] != placements["m2"]
+
+    def test_balanced_tenant_counts(self):
+        scheduler = ClusterScheduler([tiny_gpu(), tiny_gpu()])
+        apps = [compute_app(f"c{i}", qos=False) for i in range(4)]
+        placements = scheduler.place(apps)
+        per_gpu = [list(placements.values()).count(i) for i in range(2)]
+        assert per_gpu == [2, 2]
+
+    def test_qos_placed_before_best_effort(self):
+        """The QoS tenant must land on the emptiest slot, not behind the
+        best-effort crowd."""
+        scheduler = ClusterScheduler([tiny_gpu(), tiny_gpu()])
+        apps = [compute_app("be1", qos=False), compute_app("be2", qos=False),
+                compute_app("important", qos=True)]
+        placements = scheduler.place(apps)
+        qos_gpu = placements["important"]
+        sharing = [name for name, gpu in placements.items()
+                   if gpu == qos_gpu and name != "important"]
+        assert len(sharing) <= 1
+
+    def test_slot_score_penalises_memory_stacking(self):
+        slot = GPUSlot(0, tiny_gpu())
+        base = slot.placement_score(memory_app("m1"))
+        slot.tenants.append(memory_app("m0"))
+        stacked = slot.placement_score(memory_app("m1"))
+        assert stacked > base + 5
+
+
+class TestClusterRun:
+    def test_end_to_end_validation(self):
+        gpu = tiny_gpu()
+        scheduler = ClusterScheduler([gpu, gpu],
+                                     transfers=TransferModel.unified())
+        window = 2e-5  # ~24K cycles at 1216 MHz
+        apps = [compute_app("svc-a", insts=30_000, period=window / 6),
+                compute_app("svc-b", insts=30_000, period=window / 6),
+                memory_app("batch", qos=False, period=window / 6)]
+        report = scheduler.run(apps, seconds=window)
+        assert set(report.placements) == {"svc-a", "svc-b", "batch"}
+        occupied = [r for r in report.gpu_reports if r is not None]
+        assert occupied
+        # Spread QoS demand should keep drops minimal.
+        assert report.total_drops <= 2
+
+    def test_empty_gpu_has_no_report(self):
+        scheduler = ClusterScheduler([tiny_gpu(), tiny_gpu(), tiny_gpu()],
+                                     transfers=TransferModel.unified())
+        report = scheduler.run([compute_app("only", insts=1000)],
+                               seconds=1e-5)
+        assert report.gpu_reports.count(None) == 2
+        assert report.gpu_of("only") in (0, 1, 2)
+
+
+class TestOnlineDemandPredictor:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            OnlineDemandPredictor(alpha=0.0)
+        with pytest.raises(ValueError):
+            OnlineDemandPredictor(warmup_samples=0)
+
+    def test_observe_and_estimate(self):
+        predictor = OnlineDemandPredictor(alpha=0.5)
+        for value in (100, 110, 90, 105):
+            predictor.observe("app", value)
+        estimate = predictor.estimate("app")
+        assert 90 <= estimate.mean <= 110
+        assert estimate.samples == 4
+
+    def test_margin_covers_variance(self):
+        predictor = OnlineDemandPredictor(alpha=0.5)
+        for value in (100, 200, 100, 200, 100, 200):
+            predictor.observe("noisy", value)
+        estimate = predictor.estimate("noisy")
+        assert estimate.with_margin(2.0) > estimate.mean
+        assert estimate.with_margin(2.0) >= 180  # covers the high tail
+
+    def test_stable_workload_predicts_tightly(self):
+        predictor = OnlineDemandPredictor()
+        for _ in range(10):
+            predictor.observe("stable", 1000.0)
+        estimate = predictor.estimate("stable")
+        assert estimate.mean == pytest.approx(1000.0)
+        assert estimate.deviation == pytest.approx(0.0)
+        assert predictor.prediction_error("stable") == pytest.approx(0.0)
+
+    def test_readiness_after_warmup(self):
+        predictor = OnlineDemandPredictor(warmup_samples=3)
+        predictor.observe("app", 10)
+        assert not predictor.ready("app")
+        predictor.observe("app", 10)
+        predictor.observe("app", 10)
+        assert predictor.ready("app")
+
+    def test_unknown_app(self):
+        with pytest.raises(KeyError):
+            OnlineDemandPredictor().estimate("ghost")
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OnlineDemandPredictor().observe("app", -1)
+
+    def test_prediction_error_backtest(self):
+        predictor = OnlineDemandPredictor(alpha=0.5)
+        for value in (100, 120, 80, 110):
+            predictor.observe("var", value)
+        assert predictor.prediction_error("var") > 0
+
+
+class TestClusterReportDropSplit:
+    def test_qos_drops_separated(self):
+        gpu = tiny_gpu()
+        scheduler = ClusterScheduler([gpu], transfers=TransferModel.unified())
+        window = 1.2e-5
+        apps = [compute_app("svc", insts=20_000, period=window / 4),
+                # Infeasible best-effort demand: drops, but not SLO drops.
+                memory_app("hopeless", qos=False, period=window / 400)]
+        report = scheduler.run(apps, seconds=window)
+        assert report.qos_drops <= report.total_drops

@@ -1,0 +1,138 @@
+"""Smoke tests for the experiment suite on the tiny 'smoke' preset.
+
+These verify structure and the paper's qualitative orderings, not absolute
+numbers; benchmarks/ regenerates the figures at the fast preset.
+"""
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult, ExperimentSuite
+from repro.harness.presets import experiment_preset
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return ExperimentSuite(experiment_preset("smoke"))
+
+
+class TestTables:
+    def test_table1_matches_machine(self, suite):
+        result = suite.table1()
+        rows = result.data["rows"]
+        assert rows["# of SMs"] == suite.preset.gpu.num_sms
+        assert rows["Sched. Policy"] == "GTO"
+        assert "Registers" in result.table
+
+    def test_table2_feature_matrix(self, suite):
+        result = suite.table2()
+        features = dict((row[0], row[1:]) for row in result.data["features"])
+        # The paper's design (last column) has every capability.
+        fine_grained = [row[-1] for row in result.data["features"][1:]]
+        assert all(flag == "y" for flag in fine_grained)
+        assert features["Software/Hardware"][-1] == "H"
+
+
+class TestFigureStructure:
+    def test_fig06a_has_all_schemes_and_goals(self, suite):
+        result = suite.fig06a()
+        series = result.data["series"]
+        assert set(series) == {"spart", "naive", "elastic", "rollover"}
+        for values in series.values():
+            assert "AVG" in values
+            assert all(0.0 <= v <= 1.0 for v in values.values())
+
+    def test_fig05_histogram_buckets(self, suite):
+        result = suite.fig05()
+        histogram = result.data["histogram"]
+        assert set(histogram) == {"0-1%", "1-5%", "5-10%", "10-20%", "20+%"}
+        assert result.data["missed"] == sum(histogram.values())
+        assert result.data["missed"] <= result.data["total"]
+
+    def test_fig06b_and_c_policies(self, suite):
+        for result in (suite.fig06b(), suite.fig06c()):
+            assert set(result.data["series"]) == {"spart", "rollover"}
+
+    def test_fig07_covers_benchmarks_and_classes(self, suite):
+        result = suite.fig07()
+        series = result.data["series"]["rollover"]
+        for klass in ("C+C", "C+M", "M+M"):
+            assert klass in series
+
+    def test_fig09_overshoot_at_least_one(self, suite):
+        result = suite.fig09()
+        for policy, values in result.data["series"].items():
+            for value in values.values():
+                if value is not None:
+                    assert value >= 0.9
+
+    def test_fig14_improvement_series(self, suite):
+        result = suite.fig14()
+        assert "improvement" in result.data["series"]
+
+    def test_run_by_id(self, suite):
+        result = suite.run("table1")
+        assert isinstance(result, ExperimentResult)
+        assert result.experiment_id == "table1"
+
+    def test_run_unknown_id(self, suite):
+        with pytest.raises(ValueError):
+            suite.run("fig99")
+
+    def test_experiment_list_complete(self):
+        """Every table/figure of the paper has an experiment entry."""
+        ids = set(ExperimentSuite.EXPERIMENTS)
+        for required in ("table1", "table2", "fig05", "fig06a", "fig06b",
+                         "fig06c", "fig07", "fig08a", "fig08b", "fig08c",
+                         "fig09", "fig10", "fig11", "fig12", "fig13",
+                         "fig14", "sec48_preemption", "sec48_history",
+                         "sec48_static"):
+            assert required in ids
+
+
+class TestExtensions:
+    def test_ext_epoch_length_structure(self, suite):
+        result = suite.ext_epoch_length()
+        values = result.data["series"]["rollover"]
+        assert len(values) == 3
+        assert all(0.0 <= v <= 1.0 for v in values.values())
+
+    def test_ext_scheduler_both_policies(self, suite):
+        result = suite.ext_scheduler()
+        assert set(result.data["series"]) == {"gto", "lrr"}
+
+    def test_ext_unmanaged_rollover_wins(self, suite):
+        series = suite.ext_unmanaged().data["series"]
+        assert series["rollover"]["AVG"] >= series["smk"]["AVG"]
+
+    def test_ext_sharing_regimes_summary(self, suite):
+        summary = suite.ext_sharing_regimes().data["summary"]
+        assert set(summary) == {"serial", "smk", "fair-smk", "spart"}
+        # Concurrency beats serial time multiplexing on system throughput.
+        assert summary["smk"]["STP"] > summary["serial"]["STP"]
+        # Fairness management produces the most equal slowdowns.
+        assert summary["fair-smk"]["fairness"] >= summary["smk"]["fairness"]
+
+
+class TestPaperShapeClaims:
+    """The qualitative orderings the paper reports must hold even at the
+    smoke scale (these are the headline results)."""
+
+    def test_rollover_reaches_more_than_naive(self, suite):
+        series = suite.fig06a().data["series"]
+        assert series["rollover"]["AVG"] > series["naive"]["AVG"]
+
+    def test_history_reaches_more_than_naive(self, suite):
+        series = suite.sec48_history().data["series"]
+        assert series["history"]["AVG"] >= series["naive"]["AVG"]
+
+    def test_rollover_overshoots_less_than_spart(self, suite):
+        series = suite.fig09().data["series"]
+        if series["spart"]["AVG"] and series["rollover"]["AVG"]:
+            assert series["rollover"]["AVG"] <= series["spart"]["AVG"] + 0.05
+
+    def test_rollover_time_hurts_nonqos_throughput(self, suite):
+        series = suite.fig11().data["series"]
+        rollover = series["rollover"]["AVG"]
+        timed = series["rollover-time"]["AVG"]
+        if rollover is not None and timed is not None:
+            assert timed <= rollover * 1.1

@@ -1,0 +1,27 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pathlib
+
+from repro.harness.expmd import generate
+
+
+class TestGenerate:
+    def test_subset_generation(self, tmp_path):
+        path = tmp_path / "EXP.md"
+        text = generate("smoke", experiments=("table1", "table2"), path=path)
+        assert path.exists()
+        assert path.read_text() == text
+        assert "Shape-claim scorecard" in text
+        assert "Table 1" in text
+        assert "comparison with prior work" in text
+        assert "preset **smoke**" in text
+
+    def test_scorecard_counts_checks(self, tmp_path):
+        text = generate("smoke", experiments=("table1",))
+        # Tables carry no shape checks; scorecard must be 0/0.
+        assert "0/0" in text
+
+    def test_header_documents_deviations(self):
+        text = generate("smoke", experiments=("table1",))
+        assert "Known deviations" in text
+        assert "DESIGN.md" in text

@@ -1,0 +1,85 @@
+"""Tests for QoS-goal to IPC-goal translation (Section 3.2)."""
+
+import pytest
+
+from repro.qos.goals import QoSRequirement, TransferModel, translate_qos_goal
+
+
+class TestTransferModel:
+    def test_zero_bytes_costs_nothing(self):
+        assert TransferModel().transfer_time_s(0) == 0.0
+
+    def test_linear_in_size(self):
+        model = TransferModel(fixed_latency_s=1e-6,
+                              bandwidth_bytes_per_s=1e9)
+        assert model.transfer_time_s(1_000_000) == pytest.approx(1e-6 + 1e-3)
+
+    def test_unified_memory_is_free(self):
+        model = TransferModel.unified()
+        assert model.transfer_time_s(1 << 30) == 0.0
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            TransferModel().transfer_time_s(-1)
+
+
+class TestQoSRequirement:
+    def test_from_frame_rate(self):
+        req = QoSRequirement.from_frame_rate(60.0, instructions=1_000_000)
+        assert req.deadline_s == pytest.approx(1 / 60)
+
+    @pytest.mark.parametrize("kwargs", [
+        {"deadline_s": 0.0, "instructions": 1},
+        {"deadline_s": 1.0, "instructions": 0},
+        {"deadline_s": 1.0, "instructions": 1, "queueing_s": -0.1},
+    ])
+    def test_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            QoSRequirement(**kwargs)
+
+    def test_bad_frame_rate(self):
+        with pytest.raises(ValueError):
+            QoSRequirement.from_frame_rate(0.0, instructions=10)
+
+
+class TestTranslation:
+    def test_basic_formula(self):
+        """IPC = insts / (freq x time): 1.216e9 insts in 1 s at 1216 MHz -> 1."""
+        req = QoSRequirement(deadline_s=1.0, instructions=1_216_000_000)
+        ipc = translate_qos_goal(req, core_freq_mhz=1216.0,
+                                 transfers=TransferModel.unified())
+        assert ipc == pytest.approx(1.0)
+
+    def test_transfer_time_shrinks_budget(self):
+        req = QoSRequirement(deadline_s=1e-3, instructions=1_000_000,
+                             input_bytes=6_000_000)
+        free = translate_qos_goal(
+            QoSRequirement(deadline_s=1e-3, instructions=1_000_000),
+            core_freq_mhz=1000.0, transfers=TransferModel.unified())
+        taxed = translate_qos_goal(
+            req, core_freq_mhz=1000.0,
+            transfers=TransferModel(fixed_latency_s=0,
+                                    bandwidth_bytes_per_s=12e9))
+        assert taxed > free  # less time -> higher required IPC
+
+    def test_queueing_counts_against_budget(self):
+        base = QoSRequirement(deadline_s=1e-3, instructions=1_000_000)
+        queued = QoSRequirement(deadline_s=1e-3, instructions=1_000_000,
+                                queueing_s=5e-4)
+        unified = TransferModel.unified()
+        assert (translate_qos_goal(queued, 1000.0, unified)
+                == pytest.approx(2 * translate_qos_goal(base, 1000.0, unified)))
+
+    def test_unachievable_deadline_raises(self):
+        req = QoSRequirement(deadline_s=1e-6, instructions=100,
+                             queueing_s=2e-6)
+        with pytest.raises(ValueError, match="exceed the deadline"):
+            translate_qos_goal(req, 1000.0, TransferModel.unified())
+
+    def test_sixty_fps_video_example(self):
+        """A 60 FPS frame kernel of 20M instructions on the Table 1 GPU
+        needs a very modest IPC — the headroom QoS sharing exploits."""
+        req = QoSRequirement.from_frame_rate(60.0, instructions=20_000_000,
+                                             input_bytes=8_000_000)
+        ipc = translate_qos_goal(req, core_freq_mhz=1216.0)
+        assert 0.9 < ipc < 2.0

@@ -1,0 +1,53 @@
+"""Tests for the instruction-set abstraction."""
+
+import pytest
+
+from repro.isa import (
+    COMPUTE_OPCODES,
+    MEMORY_OPCODES,
+    Opcode,
+    WarpInstruction,
+    is_global_memory,
+)
+
+
+class TestOpcodeClasses:
+    def test_compute_and_memory_disjoint(self):
+        assert not (COMPUTE_OPCODES & MEMORY_OPCODES)
+
+    def test_all_opcodes_classified_or_barrier(self):
+        classified = COMPUTE_OPCODES | MEMORY_OPCODES | {Opcode.BAR}
+        assert set(Opcode) == classified
+
+    def test_global_memory_predicate(self):
+        assert is_global_memory(Opcode.LDG)
+        assert is_global_memory(Opcode.STG)
+        assert not is_global_memory(Opcode.LDS)
+        assert not is_global_memory(Opcode.ALU)
+        assert not is_global_memory(Opcode.BAR)
+
+    def test_opcodes_are_ints(self):
+        # The SM issue path dispatches on raw ints for speed.
+        assert Opcode.ALU == 0
+        assert Opcode.BAR == 5
+
+
+class TestWarpInstruction:
+    def test_defaults(self):
+        inst = WarpInstruction(Opcode.ALU)
+        assert inst.active_lanes == 32
+        assert inst.dependent
+
+    def test_divergent_lanes(self):
+        inst = WarpInstruction(Opcode.ALU, active_lanes=16)
+        assert inst.active_lanes == 16
+
+    @pytest.mark.parametrize("lanes", [0, 33, -1])
+    def test_rejects_bad_lane_counts(self, lanes):
+        with pytest.raises(ValueError):
+            WarpInstruction(Opcode.ALU, active_lanes=lanes)
+
+    def test_immutable(self):
+        inst = WarpInstruction(Opcode.LDG)
+        with pytest.raises(AttributeError):
+            inst.active_lanes = 8

@@ -1,0 +1,77 @@
+"""Tests for per-launch kernel runtime constants."""
+
+import pytest
+
+from repro.kernels.spec import KernelSpec, MemoryPattern
+from repro.sim.kernel_runtime import KernelRuntime
+
+
+def make_runtime(kernel_idx=0, footprint=4 * 1024 * 1024, reuse=0.2,
+                 coalesced=0.8, degree=4):
+    spec = KernelSpec(
+        name="runtime-test",
+        memory=MemoryPattern(footprint_bytes=footprint,
+                             coalesced_fraction=coalesced,
+                             uncoalesced_degree=degree,
+                             reuse_fraction=reuse))
+    return KernelRuntime(kernel_idx, spec, line_size=128)
+
+
+class TestThresholds:
+    def test_threshold_ordering(self):
+        runtime = make_runtime(reuse=0.2, coalesced=0.8)
+        assert 0 < runtime.reuse_threshold < runtime.coalesce_threshold <= 1 << 32
+
+    def test_reuse_threshold_fraction(self):
+        runtime = make_runtime(reuse=0.25)
+        assert runtime.reuse_threshold == pytest.approx(0.25 * (1 << 32), rel=1e-9)
+
+    def test_coalesce_threshold_conditional(self):
+        """coalesce_threshold covers reuse + coalesced share of the rest."""
+        runtime = make_runtime(reuse=0.5, coalesced=0.5)
+        expected = (0.5 + 0.5 * 0.5) * (1 << 32)
+        assert runtime.coalesce_threshold == pytest.approx(expected, rel=1e-9)
+
+    def test_fully_coalesced_never_fans_out(self):
+        runtime = make_runtime(reuse=0.0, coalesced=1.0)
+        assert runtime.coalesce_threshold == 1 << 32
+
+
+class TestGeometry:
+    def test_footprint_lines(self):
+        runtime = make_runtime(footprint=128 * 1000)
+        assert runtime.footprint_lines == 1000
+
+    def test_base_lines_disjoint_and_ordered(self):
+        first = make_runtime(kernel_idx=0)
+        second = make_runtime(kernel_idx=1)
+        third = make_runtime(kernel_idx=2)
+        assert first.base_line < second.base_line < third.base_line
+        assert second.base_line - first.base_line == \
+            third.base_line - second.base_line
+
+    def test_program_cached(self):
+        runtime = make_runtime()
+        assert runtime.program_length == runtime.program.length
+        assert runtime.warps_per_tb == runtime.spec.warps_per_tb
+
+
+class TestStartCursors:
+    def test_within_footprint(self):
+        runtime = make_runtime(footprint=128 * 64)
+        for tb_id in range(50):
+            for warp_id in range(runtime.warps_per_tb):
+                cursor = runtime.start_cursor(tb_id, warp_id)
+                assert 0 <= cursor < runtime.footprint_lines
+
+    def test_tbs_spread_over_footprint(self):
+        runtime = make_runtime(footprint=64 * 1024 * 1024)
+        cursors = {runtime.start_cursor(tb_id, 0) for tb_id in range(16)}
+        assert len(cursors) == 16  # no trivial clustering
+
+    def test_seed_nonzero_and_stable(self):
+        runtime = make_runtime()
+        seed = runtime.warp_seed(3, 2)
+        assert seed == runtime.warp_seed(3, 2)
+        assert seed != 0
+        assert seed % 2 == 1  # odd-forced so the LCG cannot collapse

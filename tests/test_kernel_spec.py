@@ -1,0 +1,116 @@
+"""Tests for KernelSpec / InstructionMix / MemoryPattern validation and
+resource arithmetic."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+
+
+class TestInstructionMix:
+    def test_default_sums_to_one(self):
+        mix = InstructionMix()
+        assert abs(mix.alu + mix.sfu + mix.ldg + mix.stg + mix.lds - 1.0) < 1e-9
+
+    def test_rejects_bad_sum(self):
+        with pytest.raises(ValueError, match="sum to 1"):
+            InstructionMix(alu=0.5, sfu=0.0, ldg=0.0, stg=0.0, lds=0.0)
+
+    def test_rejects_negative_fraction(self):
+        with pytest.raises(ValueError):
+            InstructionMix(alu=1.2, sfu=-0.2, ldg=0.0, stg=0.0, lds=0.0)
+
+
+class TestMemoryPattern:
+    def test_defaults_valid(self):
+        MemoryPattern()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"footprint_bytes": 0},
+        {"coalesced_fraction": 1.5},
+        {"coalesced_fraction": -0.1},
+        {"reuse_fraction": 2.0},
+        {"uncoalesced_degree": 0},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            MemoryPattern(**kwargs)
+
+
+class TestKernelSpecValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"threads_per_tb": 100},       # not a warp multiple
+        {"threads_per_tb": 0},
+        {"regs_per_thread": 0},
+        {"smem_per_tb_bytes": -1},
+        {"ilp": 1.5},
+        {"divergence": -0.1},
+        {"body_length": 0},
+        {"iterations_per_tb": 0},
+        {"intensity": "balanced"},
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ValueError):
+            KernelSpec(name="bad", **kwargs)
+
+
+class TestResourceArithmetic:
+    def test_warps_per_tb(self):
+        spec = KernelSpec(name="k", threads_per_tb=256)
+        assert spec.warps_per_tb == 8
+
+    def test_register_bytes_per_tb(self):
+        spec = KernelSpec(name="k", threads_per_tb=64, regs_per_thread=32)
+        assert spec.regs_per_tb_bytes == 32 * 4 * 64
+
+    def test_context_bytes_includes_smem(self):
+        spec = KernelSpec(name="k", threads_per_tb=64, regs_per_thread=16,
+                          smem_per_tb_bytes=2048)
+        assert spec.context_bytes == spec.regs_per_tb_bytes + 2048
+
+    def test_resource_vector_keys(self):
+        vector = KernelSpec(name="k").resource_vector()
+        assert set(vector) == {"registers_bytes", "shared_memory_bytes",
+                               "threads", "tbs"}
+        assert vector["tbs"] == 1
+
+
+class TestMaxTBsPerSM:
+    def test_thread_limited(self):
+        spec = KernelSpec(name="k", threads_per_tb=1024, regs_per_thread=1)
+        assert spec.max_tbs_per_sm(SMConfig()) == 2  # 2048 threads / 1024
+
+    def test_register_limited(self):
+        spec = KernelSpec(name="k", threads_per_tb=32, regs_per_thread=256)
+        # 256 regs * 4 B * 32 threads = 32 KB per TB -> 8 TBs in 256 KB.
+        assert spec.max_tbs_per_sm(SMConfig()) == 8
+
+    def test_shared_memory_limited(self):
+        spec = KernelSpec(name="k", threads_per_tb=32, regs_per_thread=1,
+                          smem_per_tb_bytes=48 * 1024)
+        assert spec.max_tbs_per_sm(SMConfig()) == 2  # 96 KB / 48 KB
+
+    def test_tb_slot_limited(self):
+        spec = KernelSpec(name="k", threads_per_tb=32, regs_per_thread=1)
+        assert spec.max_tbs_per_sm(SMConfig()) == 32
+
+    @given(threads=st.sampled_from([32, 64, 128, 256, 512]),
+           regs=st.integers(min_value=1, max_value=255),
+           smem=st.sampled_from([0, 1024, 8192, 49152]))
+    def test_admission_limit_is_tight(self, threads, regs, smem):
+        """max_tbs_per_sm is exactly the last admissible count."""
+        spec = KernelSpec(name="k", threads_per_tb=threads,
+                          regs_per_thread=regs, smem_per_tb_bytes=smem)
+        sm = SMConfig()
+        count = spec.max_tbs_per_sm(sm)
+        assert count * spec.regs_per_tb_bytes <= sm.registers_bytes
+        assert count * spec.threads_per_tb <= sm.max_threads
+        if smem:
+            assert count * smem <= sm.shared_memory_bytes
+        # one more TB must violate some limit (unless capped by TB slots)
+        over = count + 1
+        if over <= sm.max_tbs:
+            assert (over * spec.regs_per_tb_bytes > sm.registers_bytes
+                    or over * spec.threads_per_tb > sm.max_threads
+                    or (smem and over * smem > sm.shared_memory_bytes))

@@ -1,0 +1,226 @@
+"""Tests for the memory subsystem: L1 path, MC bandwidth queueing, stats."""
+
+import pytest
+
+from repro.config import GPUConfig, MemoryConfig
+from repro.sim.memory import MemoryController, MemorySubsystem
+from repro.sim.cache import Cache
+
+
+def make_subsystem(num_sms=2, num_mcs=2, num_kernels=2, service_interval=4,
+                   dram_banks=0):
+    # Bank modelling is off by default here so latency arithmetic in the
+    # queueing tests stays exact; TestDRAMBanks covers the bank model.
+    config = GPUConfig(
+        num_sms=num_sms, num_mcs=num_mcs,
+        memory=MemoryConfig(mc_service_interval=service_interval,
+                            dram_banks=dram_banks))
+    return MemorySubsystem(config, num_kernels), config
+
+
+class TestL1Path:
+    def test_l1_hit_latency(self):
+        mem, config = make_subsystem()
+        lat = config.memory.latency
+        mem.warp_access(0, 0, (7,), False, now=100)        # fill
+        done = mem.warp_access(0, 0, (7,), False, now=1000)
+        assert done == 1000 + lat.l1_hit
+
+    def test_l1s_are_private_per_sm(self):
+        mem, config = make_subsystem()
+        lat = config.memory.latency
+        mem.warp_access(0, 0, (7,), False, now=0)
+        done = mem.warp_access(1, 0, (7,), False, now=1000)
+        # SM1 misses its own L1 even though SM0 has the line (hits in L2).
+        assert done > 1000 + lat.l1_hit
+
+    def test_flush_l1(self):
+        mem, config = make_subsystem()
+        mem.warp_access(0, 0, (7,), False, now=0)
+        mem.flush_l1(0)
+        assert mem.l1s[0].probe(7) is False
+
+
+class TestMissPath:
+    def test_miss_goes_through_interconnect_and_dram(self):
+        mem, config = make_subsystem()
+        lat = config.memory.latency
+        done = mem.warp_access(0, 0, (9,), False, now=0)
+        expected = lat.interconnect + lat.dram + lat.interconnect
+        assert done == expected
+
+    def test_l2_hit_faster_than_dram(self):
+        mem, config = make_subsystem()
+        lat = config.memory.latency
+        mem.warp_access(0, 0, (9,), False, now=0)
+        # Second SM misses L1 but hits the now-filled L2 slice.
+        done = mem.warp_access(1, 0, (9,), False, now=10_000)
+        service = 10_000 + lat.interconnect + lat.l2_hit + lat.interconnect
+        assert done == service
+
+    def test_lines_interleave_across_mcs(self):
+        mem, _config = make_subsystem(num_mcs=2)
+        mem.warp_access(0, 0, (0, 1, 2, 3), False, now=0)
+        assert mem.controllers[0].serviced == 2  # lines 0, 2
+        assert mem.controllers[1].serviced == 2  # lines 1, 3
+
+
+class TestBandwidthQueueing:
+    def test_back_to_back_requests_serialise(self):
+        mem, config = make_subsystem(num_mcs=1, service_interval=4)
+        lat = config.memory.latency
+        first = mem.warp_access(0, 0, (0,), False, now=0)
+        second = mem.warp_access(0, 1, (1,), False, now=0)
+        assert second == first + 4  # queued behind the first request
+
+    def test_queue_drains_over_time(self):
+        mem, _config = make_subsystem(num_mcs=1, service_interval=4)
+        mem.warp_access(0, 0, (0,), False, now=0)
+        mc = mem.controllers[0]
+        assert mc.queue_delay(0) > 0
+        assert mc.queue_delay(10_000) == 0
+
+    def test_fanout_completion_is_slowest_line(self):
+        mem, _config = make_subsystem(num_mcs=1, service_interval=10)
+        lines = tuple(range(8))
+        done = mem.warp_access(0, 0, lines, False, now=0)
+        single = MemorySubsystem(
+            GPUConfig(num_mcs=1,
+                      memory=MemoryConfig(mc_service_interval=10,
+                                          dram_banks=0)), 1
+        ).warp_access(0, 0, (0,), False, now=0)
+        assert done >= single + 7 * 10
+
+
+class TestKernelStats:
+    def test_requests_attributed_per_kernel(self):
+        mem, _config = make_subsystem(num_kernels=2)
+        mem.warp_access(0, 0, (1, 2), False, now=0)
+        mem.warp_access(0, 1, (3,), True, now=0)
+        assert mem.kernel_stats[0].requests == 2
+        assert mem.kernel_stats[1].requests == 1
+        assert mem.kernel_stats[1].write_requests == 1
+        assert mem.kernel_stats[0].write_requests == 0
+
+    def test_hit_counters(self):
+        mem, _config = make_subsystem()
+        mem.warp_access(0, 0, (5,), False, now=0)
+        mem.warp_access(0, 0, (5,), False, now=0)
+        stats = mem.kernel_stats[0]
+        assert stats.l1_hits == 1
+        assert stats.dram_accesses == 1
+        assert stats.l2_hits == 0
+
+    def test_aggregate_keys(self):
+        mem, _config = make_subsystem()
+        mem.warp_access(0, 0, (5,), False, now=0)
+        aggregate = mem.aggregate()
+        assert aggregate["l1_misses"] == 1
+        assert aggregate["mc_serviced"] == 1
+        assert mem.total_dram_accesses() == 1
+
+    def test_as_dict(self):
+        mem, _config = make_subsystem()
+        mem.warp_access(0, 0, (5,), False, now=0)
+        stats = mem.kernel_stats[0].as_dict()
+        assert stats["requests"] == 1
+        assert set(stats) == {"requests", "l1_hits", "l2_hits",
+                              "dram_accesses", "write_requests",
+                              "mshr_stalls"}
+
+
+class TestMemoryController:
+    def test_service_returns_hit_flag(self):
+        mc = MemoryController(Cache(4 * 1024, 4, 128), service_interval=2)
+        _done, hit = mc.service(3, False, now=0, l2_hit_latency=50,
+                                dram_latency=300)
+        assert hit is False
+        _done, hit = mc.service(3, False, now=100, l2_hit_latency=50,
+                                dram_latency=300)
+        assert hit is True
+
+    def test_service_respects_interval(self):
+        mc = MemoryController(Cache(4 * 1024, 4, 128), service_interval=5)
+        first, _hit = mc.service(0, False, 0, 50, 300)
+        second, _hit = mc.service(1, False, 0, 50, 300)
+        assert second - first == 5
+
+    def test_dirty_eviction_charges_writeback_slot(self):
+        mc = MemoryController(Cache(2 * 128, 1, 128), service_interval=5)
+        mc.service(0, True, 0, 50, 300)     # line 0 dirty in set 0
+        mc.service(2, False, 0, 50, 300)    # evicts dirty line 0
+        assert mc.writebacks == 1
+        # Two services + one write-back = three slots consumed.
+        assert mc.next_free == 15
+
+    def test_clean_eviction_is_free(self):
+        mc = MemoryController(Cache(2 * 128, 1, 128), service_interval=5)
+        mc.service(0, False, 0, 50, 300)
+        mc.service(2, False, 0, 50, 300)
+        assert mc.writebacks == 0
+        assert mc.next_free == 10
+
+
+class TestDRAMBanks:
+    def _mc(self, banks=2, row_lines=4, interval=2):
+        from repro.sim.memory import DRAMBanks, MemoryController
+        return MemoryController(Cache(64 * 1024, 4, 128), interval,
+                                DRAMBanks(banks, row_lines))
+
+    def test_row_hit_cheaper_than_row_miss(self):
+        mc = self._mc()
+        first, _ = mc.service(0, False, 0, 50, 340, 160)   # opens row 0
+        second, _ = mc.service(1, False, 1000, 50, 340, 160)  # same row
+        assert first == 340
+        assert second == 1000 + 160
+        assert mc.dram.row_hits == 1
+        assert mc.dram.row_misses == 1
+
+    def test_row_conflict_reopens(self):
+        mc = self._mc(banks=1, row_lines=4)
+        mc.service(0, False, 0, 50, 340, 160)      # row 0 opened
+        mc.service(4, False, 1000, 50, 340, 160)   # row 1 evicts row 0
+        # Line 1 is row 0 again (and not L2-cached): full reopen cost.
+        done, _ = mc.service(1, False, 2000, 50, 340, 160)
+        assert done == 2000 + 340
+        assert mc.dram.row_misses == 3
+        # Row 0 is now open: its next uncached line is a row hit.
+        done, _ = mc.service(2, False, 3000, 50, 340, 160)
+        assert done == 3000 + 160
+
+    def test_rows_interleave_across_banks(self):
+        from repro.sim.memory import DRAMBanks
+        dram = DRAMBanks(2, 4)
+        dram.access_latency(0, 10, 100)   # row 0 -> bank 0
+        dram.access_latency(4, 10, 100)   # row 1 -> bank 1
+        # Both rows stay open: re-touching either is a hit.
+        assert dram.access_latency(1, 10, 100) == 10
+        assert dram.access_latency(5, 10, 100) == 10
+
+    def test_disabled_banks_always_miss_latency(self):
+        from repro.sim.memory import DRAMBanks
+        dram = DRAMBanks(0, 4)
+        assert dram.access_latency(0, 10, 100) == 100
+        assert dram.access_latency(0, 10, 100) == 100
+
+    def test_geometry_validation(self):
+        from repro.sim.memory import DRAMBanks
+        import pytest as _pytest
+        with _pytest.raises(ValueError):
+            DRAMBanks(-1, 4)
+        with _pytest.raises(ValueError):
+            DRAMBanks(4, 0)
+
+    def test_streaming_sees_more_row_hits_than_random(self):
+        import random
+        streaming = self._mc(banks=8, row_lines=16)
+        scattered = self._mc(banks=8, row_lines=16)
+        for line in range(200):
+            streaming.service(line, False, line * 10, 50, 340, 160)
+        rng = random.Random(7)
+        for _ in range(200):
+            scattered.service(rng.randrange(1 << 20), False, 0, 50, 340, 160)
+        stream_rate = streaming.dram.row_hits / 200
+        scatter_rate = scattered.dram.row_hits / 200
+        assert stream_rate > 0.8
+        assert scatter_rate < 0.2

@@ -1,0 +1,71 @@
+"""Tests for the L1 MSHR structural-hazard model."""
+
+import pytest
+
+from repro.config import GPUConfig, MemoryConfig
+from repro.sim.memory import MemorySubsystem
+
+
+def make_subsystem(mshrs, service_interval=2, num_mcs=1):
+    config = GPUConfig(
+        num_sms=1, num_mcs=num_mcs,
+        memory=MemoryConfig(l1_mshrs=mshrs,
+                            mc_service_interval=service_interval))
+    return MemorySubsystem(config, 1), config
+
+
+class TestMSHRLimit:
+    def test_under_limit_no_stall(self):
+        mem, _config = make_subsystem(mshrs=8)
+        mem.warp_access(0, 0, tuple(range(8)), False, now=0)
+        assert mem.kernel_stats[0].mshr_stalls == 0
+
+    def test_over_limit_stalls(self):
+        mem, _config = make_subsystem(mshrs=4)
+        mem.warp_access(0, 0, tuple(range(8)), False, now=0)
+        assert mem.kernel_stats[0].mshr_stalls == 4
+
+    def test_stalled_requests_complete_later(self):
+        few, _config = make_subsystem(mshrs=2)
+        many, _config = make_subsystem(mshrs=64)
+        lines = tuple(range(12))
+        limited = few.warp_access(0, 0, lines, False, now=0)
+        unlimited = many.warp_access(0, 0, lines, False, now=0)
+        assert limited > unlimited
+
+    def test_mshrs_free_over_time(self):
+        mem, _config = make_subsystem(mshrs=2)
+        mem.warp_access(0, 0, (0, 1), False, now=0)
+        # Far in the future both outstanding misses have returned.
+        mem.warp_access(0, 0, (2, 3), False, now=1_000_000)
+        assert mem.kernel_stats[0].mshr_stalls == 0
+
+    def test_flush_clears_mshrs(self):
+        mem, _config = make_subsystem(mshrs=2)
+        mem.warp_access(0, 0, (0, 1), False, now=0)
+        mem.flush_l1(0)
+        mem.warp_access(0, 0, (2, 3), False, now=0)
+        assert mem.kernel_stats[0].mshr_stalls == 0
+
+
+class TestL1WriteSemantics:
+    def test_stores_bypass_l1(self):
+        mem, _config = make_subsystem(mshrs=64)
+        mem.warp_access(0, 0, (7,), True, now=0)     # store
+        assert mem.l1s[0].probe(7) is False           # no-allocate
+        assert mem.kernel_stats[0].l1_hits == 0
+
+    def test_stores_consume_controller_bandwidth(self):
+        mem, _config = make_subsystem(mshrs=64, service_interval=10)
+        mem.warp_access(0, 0, (7,), True, now=0)
+        assert mem.controllers[0].serviced == 1
+
+    def test_store_marks_l2_dirty_and_evicts_with_writeback(self):
+        config = GPUConfig(
+            num_sms=1, num_mcs=1,
+            memory=MemoryConfig(l1_mshrs=64, l2_slice_size=2 * 128,
+                                l2_assoc=1, mc_service_interval=2))
+        mem = MemorySubsystem(config, 1)
+        mem.warp_access(0, 0, (0,), True, now=0)       # dirty line 0, set 0
+        mem.warp_access(0, 0, (2,), False, now=10_000)  # evicts line 0
+        assert mem.aggregate()["l2_writebacks"] == 1

@@ -1,0 +1,74 @@
+"""Tests for the non-QoS artificial IPC-goal search (Section 3.5)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qos.nonqos import (
+    INITIAL_NONQOS_IPC,
+    MIN_NONQOS_IPC,
+    nonqos_ipc_goal,
+)
+
+
+class TestFormula:
+    def test_paper_initial_value(self):
+        assert INITIAL_NONQOS_IPC == 1.0
+
+    def test_goal_scales_by_qos_headroom(self):
+        """QoS kernel at 2x its adjusted goal -> non-QoS goal doubles."""
+        goal = nonqos_ipc_goal(own_epoch_ipc=10.0,
+                               qos_epoch_ipc={0: 200.0},
+                               qos_goals={0: 100.0},
+                               alphas={0: 1.0})
+        assert goal == pytest.approx(20.0)
+
+    def test_goal_shrinks_when_qos_lags(self):
+        goal = nonqos_ipc_goal(own_epoch_ipc=10.0,
+                               qos_epoch_ipc={0: 50.0},
+                               qos_goals={0: 100.0},
+                               alphas={0: 1.0})
+        assert goal == pytest.approx(5.0)
+
+    def test_alpha_tightens_the_bar(self):
+        relaxed = nonqos_ipc_goal(10.0, {0: 100.0}, {0: 100.0}, {0: 1.0})
+        tightened = nonqos_ipc_goal(10.0, {0: 100.0}, {0: 100.0}, {0: 2.0})
+        assert tightened < relaxed
+
+    def test_multiple_qos_kernels_multiply(self):
+        goal = nonqos_ipc_goal(10.0,
+                               {0: 150.0, 1: 120.0},
+                               {0: 100.0, 1: 100.0},
+                               {0: 1.0, 1: 1.0})
+        assert goal == pytest.approx(10.0 * 1.5 * 1.2)
+
+    def test_floor_prevents_starvation_deadlock(self):
+        """A fully starved QoS kernel zeroes the product; the floor keeps
+        the non-QoS kernel marginally alive so measurement can recover."""
+        goal = nonqos_ipc_goal(0.0, {0: 0.0}, {0: 100.0}, {0: 1.0})
+        assert goal == MIN_NONQOS_IPC
+
+    def test_rejects_negative_ipc(self):
+        with pytest.raises(ValueError):
+            nonqos_ipc_goal(-1.0, {}, {}, {})
+
+    def test_rejects_nonpositive_goal(self):
+        with pytest.raises(ValueError):
+            nonqos_ipc_goal(1.0, {0: 10.0}, {0: 0.0}, {0: 1.0})
+
+    def test_no_qos_kernels_returns_own_ipc(self):
+        assert nonqos_ipc_goal(42.0, {}, {}, {}) == 42.0
+
+
+class TestProperties:
+    @given(own=st.floats(0.0, 1e4),
+           epoch=st.floats(0.0, 1e4),
+           goal=st.floats(0.1, 1e4),
+           alpha=st.floats(1.0, 8.0))
+    def test_never_below_floor(self, own, epoch, goal, alpha):
+        value = nonqos_ipc_goal(own, {0: epoch}, {0: goal}, {0: alpha})
+        assert value >= MIN_NONQOS_IPC
+
+    @given(own=st.floats(1.0, 1e4), goal=st.floats(1.0, 1e4))
+    def test_exactly_on_goal_is_neutral(self, own, goal):
+        value = nonqos_ipc_goal(own, {0: goal}, {0: goal}, {0: 1.0})
+        assert value == pytest.approx(max(own, MIN_NONQOS_IPC))

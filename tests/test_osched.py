@@ -1,0 +1,137 @@
+"""Tests for the OS-level dispatcher (periodic jobs over the QoS GPU)."""
+
+import pytest
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.osched import Application, GPUServer
+from repro.osched.dispatcher import _cycle_reaching
+from repro.qos import TransferModel
+
+
+def light_spec(name="frame-kernel"):
+    return KernelSpec(
+        name=name, threads_per_tb=64, regs_per_thread=16,
+        mix=InstructionMix(alu=0.85, sfu=0.0, ldg=0.1, stg=0.05, lds=0.0),
+        memory=MemoryPattern(footprint_bytes=1 << 22),
+        ilp=0.8, body_length=16, iterations_per_tb=3)
+
+
+def make_gpu():
+    return GPUConfig(num_sms=2, num_mcs=1, epoch_length=400,
+                     idle_warp_samples=8, sm=SMConfig(warp_schedulers=2))
+
+
+def seconds_for_cycles(gpu, cycles):
+    return cycles / (gpu.core_freq_mhz * 1e6)
+
+
+class TestApplication:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Application("a", light_spec(), period_s=0.0,
+                        instructions_per_job=10)
+        with pytest.raises(ValueError):
+            Application("a", light_spec(), period_s=1.0,
+                        instructions_per_job=0)
+
+    def test_kernel_by_name(self):
+        app = Application("a", "sgemm", period_s=1.0,
+                          instructions_per_job=100)
+        assert app.spec.name == "sgemm"
+
+    def test_requirement_carries_deadline(self):
+        app = Application("a", light_spec(), period_s=0.25,
+                          instructions_per_job=100, input_bytes=64)
+        requirement = app.requirement()
+        assert requirement.deadline_s == 0.25
+        assert requirement.input_bytes == 64
+
+
+class TestGPUServer:
+    def test_rejects_duplicate_names(self):
+        server = GPUServer(make_gpu())
+        server.submit(Application("a", light_spec("k1"), 1.0, 100))
+        with pytest.raises(ValueError, match="already submitted"):
+            server.submit(Application("a", light_spec("k2"), 1.0, 100))
+
+    def test_rejects_duplicate_kernels(self):
+        server = GPUServer(make_gpu())
+        server.submit(Application("a", light_spec("k1"), 1.0, 100))
+        with pytest.raises(ValueError, match="already in use"):
+            server.submit(Application("b", light_spec("k1"), 1.0, 100))
+
+    def test_run_requires_apps_and_time(self):
+        server = GPUServer(make_gpu())
+        with pytest.raises(ValueError):
+            server.run(1.0)
+        server.submit(Application("a", light_spec(), 1.0, 100))
+        with pytest.raises(ValueError):
+            server.run(0.0)
+
+    def test_feasible_deadlines_met(self):
+        gpu = make_gpu()
+        server = GPUServer(gpu, transfers=TransferModel.unified())
+        window_s = seconds_for_cycles(gpu, 12_000)
+        period = window_s / 10
+        # A very modest job: ~2 IPC needed on a machine delivering >100.
+        insts = int(2 * period * gpu.core_freq_mhz * 1e6)
+        server.submit(Application("video", light_spec("qos-k"), period, insts))
+        server.submit(Application("batch", light_spec("batch-k"), period,
+                                  insts, qos=False))
+        report = server.run(window_s)
+        video = report.app("video")
+        assert video.jobs_due == 10
+        assert video.drop_rate <= 0.2  # slack only for the first warm-up job
+        assert video.ipc_goal == pytest.approx(2.0, rel=0.01)
+
+    def test_infeasible_deadlines_drop(self):
+        gpu = make_gpu()
+        server = GPUServer(gpu, transfers=TransferModel.unified())
+        window_s = seconds_for_cycles(gpu, 8_000)
+        period = window_s / 8
+        # Demands ~10x the machine's peak: every job must drop.
+        insts = int(3000 * period * gpu.core_freq_mhz * 1e6)
+        server.submit(Application("greedy", light_spec("qos-k"), period, insts))
+        report = server.run(window_s)
+        assert report.app("greedy").drop_rate > 0.8
+
+    def test_best_effort_app_has_no_goal(self):
+        gpu = make_gpu()
+        server = GPUServer(gpu, transfers=TransferModel.unified())
+        window_s = seconds_for_cycles(gpu, 6_000)
+        server.submit(Application("be", light_spec("only-k"), window_s / 4,
+                                  1000, qos=False))
+        report = server.run(window_s)
+        be = report.app("be")
+        assert be.ipc_goal is None
+        assert be.achieved_ipc > 0
+
+    def test_unknown_app_lookup(self):
+        gpu = make_gpu()
+        server = GPUServer(gpu, transfers=TransferModel.unified())
+        server.submit(Application("a", light_spec(), 1.0, 100))
+        report = server.run(seconds_for_cycles(gpu, 2_000))
+        with pytest.raises(KeyError):
+            report.app("missing")
+
+
+class TestCycleReaching:
+    def test_interpolates_within_epoch(self):
+        cycles = [0, 100, 200]
+        retired = [0, 1000, 3000]
+        assert _cycle_reaching(cycles, retired, 500) == pytest.approx(50.0)
+        assert _cycle_reaching(cycles, retired, 2000) == pytest.approx(150.0)
+
+    def test_exact_points(self):
+        cycles = [0, 100]
+        retired = [0, 1000]
+        assert _cycle_reaching(cycles, retired, 1000) == pytest.approx(100.0)
+
+    def test_unreachable_returns_none(self):
+        assert _cycle_reaching([0, 100], [0, 10], 11) is None
+
+    def test_flat_segment(self):
+        cycles = [0, 100, 200]
+        retired = [0, 1000, 1000]
+        assert _cycle_reaching(cycles, retired, 1000) == pytest.approx(100.0)

@@ -1,0 +1,100 @@
+"""Tests for the paper-reference shape checks and EXPERIMENTS.md renderer."""
+
+import pytest
+
+from repro.harness.experiments import ExperimentResult, ExperimentSuite
+from repro.harness.paper import (
+    PAPER_REPORTED,
+    ShapeCheck,
+    evaluate_experiment,
+    render_comparison,
+)
+
+
+def result_with(experiment_id, data):
+    return ExperimentResult(experiment_id, f"title-{experiment_id}",
+                            f"table-{experiment_id}", data)
+
+
+class TestCoverage:
+    def test_every_paper_artifact_has_reference_text(self):
+        for artifact in ("fig05", "fig06a", "fig06b", "fig06c", "fig07",
+                         "fig08a", "fig08b", "fig08c", "fig09", "fig10",
+                         "fig11", "fig12", "fig13", "fig14", "sec48a",
+                         "sec48b", "sec48c", "table1", "table2"):
+            assert artifact in PAPER_REPORTED
+
+    def test_unknown_experiment_yields_no_checks(self):
+        assert evaluate_experiment(result_with("ext_custom", {})) == []
+
+
+class TestFig06aChecks:
+    def _data(self, naive, spart, rollover, elastic):
+        return {"series": {
+            "naive": {"AVG": naive}, "spart": {"AVG": spart},
+            "rollover": {"AVG": rollover}, "elastic": {"AVG": elastic}}}
+
+    def test_paper_numbers_pass(self):
+        checks = evaluate_experiment(result_with(
+            "fig06a", self._data(0.206, 0.788, 0.884, 0.86)))
+        assert all(check.holds for check in checks)
+
+    def test_inverted_ordering_fails(self):
+        checks = evaluate_experiment(result_with(
+            "fig06a", self._data(0.9, 0.5, 0.4, 0.4)))
+        assert any(not check.holds for check in checks)
+
+
+class TestFig09Checks:
+    def test_paper_numbers_pass(self):
+        data = {"series": {"spart": {"AVG": 1.116},
+                           "rollover": {"AVG": 1.028}}}
+        checks = evaluate_experiment(result_with("fig09", data))
+        assert all(check.holds for check in checks)
+
+    def test_excess_overshoot_fails(self):
+        data = {"series": {"spart": {"AVG": 1.1},
+                           "rollover": {"AVG": 1.4}}}
+        checks = evaluate_experiment(result_with("fig09", data))
+        assert any(not check.holds for check in checks)
+
+
+class TestFig05Checks:
+    def test_paper_like_histogram_passes(self):
+        data = {"histogram": {"0-1%": 300, "1-5%": 250, "5-10%": 100,
+                              "10-20%": 40, "20+%": 24},
+                "total": 900, "missed": 714, "overshoot": 1.013}
+        checks = evaluate_experiment(result_with("fig05", data))
+        assert all(check.holds for check in checks)
+
+    def test_distant_misses_fail(self):
+        data = {"histogram": {"0-1%": 0, "1-5%": 10, "5-10%": 0,
+                              "10-20%": 200, "20+%": 300},
+                "total": 900, "missed": 510, "overshoot": 1.0}
+        checks = evaluate_experiment(result_with("fig05", data))
+        assert any(not check.holds for check in checks)
+
+
+class TestThroughputChecks:
+    def test_none_averages_tolerated(self):
+        data = {"series": {"spart": {"AVG": None},
+                           "rollover": {"AVG": 0.3}}}
+        checks = evaluate_experiment(result_with("fig08a", data))
+        assert checks and checks[0].holds
+
+
+class TestRender:
+    def test_render_includes_table_and_verdicts(self):
+        result = result_with("fig09", {})
+        checks = [ShapeCheck("claim text", True, "x=1"),
+                  ShapeCheck("failing claim", False, "y=2")]
+        text = render_comparison(result, checks)
+        assert "table-fig09" in text
+        assert "claim text" in text
+        assert "**no**" in text
+        assert PAPER_REPORTED["fig09"] in text
+
+    def test_render_without_checks(self):
+        text = render_comparison(result_with("table1", {}), [])
+        assert "table-table1" in text
+        assert "| shape claim |" not in text

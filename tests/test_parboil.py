@@ -1,0 +1,109 @@
+"""Tests for the Parboil workload registry."""
+
+import pytest
+
+from repro.config import SMConfig
+from repro.kernels import (
+    COMPUTE_INTENSIVE,
+    MEMORY_INTENSIVE,
+    PARBOIL,
+    PARBOIL_NAMES,
+    get_kernel,
+    intensity_class,
+    pair_class,
+)
+
+
+class TestRegistry:
+    def test_ten_benchmarks(self):
+        """Section 4.1: 10 Parboil benchmarks (bfs excluded)."""
+        assert len(PARBOIL_NAMES) == 10
+        assert "bfs" not in PARBOIL_NAMES
+
+    def test_expected_names(self):
+        assert set(PARBOIL_NAMES) == {
+            "cutcp", "histo", "lbm", "mri-gridding", "mri-q",
+            "sad", "sgemm", "spmv", "stencil", "tpacf",
+        }
+
+    def test_get_kernel_roundtrip(self):
+        for name in PARBOIL_NAMES:
+            assert get_kernel(name).name == name
+
+    def test_get_kernel_unknown(self):
+        with pytest.raises(ValueError, match="unknown benchmark"):
+            get_kernel("bfs")
+
+    def test_names_sorted(self):
+        assert list(PARBOIL_NAMES) == sorted(PARBOIL_NAMES)
+
+
+class TestIntensityClasses:
+    def test_five_five_split(self):
+        assert len(COMPUTE_INTENSIVE) == 5
+        assert len(MEMORY_INTENSIVE) == 5
+
+    def test_published_classification(self):
+        assert set(COMPUTE_INTENSIVE) == {"cutcp", "mri-q", "sad", "sgemm",
+                                          "tpacf"}
+        assert set(MEMORY_INTENSIVE) == {"histo", "lbm", "mri-gridding",
+                                         "spmv", "stencil"}
+
+    def test_intensity_class_letters(self):
+        assert intensity_class("sgemm") == "C"
+        assert intensity_class("lbm") == "M"
+
+    def test_pair_class_is_order_independent(self):
+        assert pair_class("sgemm", "lbm") == "C+M"
+        assert pair_class("lbm", "sgemm") == "C+M"
+        assert pair_class("sgemm", "cutcp") == "C+C"
+        assert pair_class("lbm", "spmv") == "M+M"
+
+
+class TestSpecSanity:
+    """Every benchmark model must be hostable on the Table 1 SM."""
+
+    @pytest.mark.parametrize("name", PARBOIL_NAMES)
+    def test_at_least_two_tbs_fit(self, name):
+        # Fine-grained sharing is meaningless if a single TB fills the SM.
+        assert get_kernel(name).max_tbs_per_sm(SMConfig()) >= 2
+
+    @pytest.mark.parametrize("name", PARBOIL_NAMES)
+    def test_memory_kernels_have_bigger_footprints(self, name):
+        spec = get_kernel(name)
+        if spec.intensity == "memory":
+            assert spec.memory.footprint_bytes >= 64 * 1024 * 1024
+        else:
+            assert spec.memory.footprint_bytes <= 32 * 1024 * 1024
+
+    @pytest.mark.parametrize("name", PARBOIL_NAMES)
+    def test_memory_kernels_have_memory_heavy_mix(self, name):
+        spec = get_kernel(name)
+        global_fraction = spec.mix.ldg + spec.mix.stg
+        if spec.intensity == "memory":
+            assert global_fraction >= 0.3
+        else:
+            assert global_fraction <= 0.25
+
+    def test_histo_is_short_running(self):
+        """Section 4.2 attributes histo's poor QoSreach to short kernels."""
+        histo = get_kernel("histo")
+        others = [get_kernel(name) for name in PARBOIL_NAMES
+                  if name != "histo"]
+        histo_work = histo.body_length * histo.iterations_per_tb
+        assert all(histo_work <= s.body_length * s.iterations_per_tb
+                   for s in others)
+
+    def test_sgemm_and_cutcp_use_barriers(self):
+        assert get_kernel("sgemm").mix.barrier_per_iteration
+        assert get_kernel("cutcp").mix.barrier_per_iteration
+
+    def test_mri_q_and_tpacf_use_sfu(self):
+        assert get_kernel("mri-q").mix.sfu > 0.1
+        assert get_kernel("tpacf").mix.sfu > 0.1
+
+    def test_irregular_kernels_poorly_coalesced(self):
+        for name in ("spmv", "mri-gridding"):
+            assert get_kernel(name).memory.coalesced_fraction <= 0.5
+        for name in ("lbm", "stencil"):
+            assert get_kernel(name).memory.coalesced_fraction >= 0.8

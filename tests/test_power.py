@@ -1,0 +1,103 @@
+"""Tests for the GPUWattch-style power model."""
+
+import pytest
+
+from repro.config import FAST_GPU, GPUConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.power import PowerModel, instructions_per_watt
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+def run(spec, cycles=3000, gpu=None):
+    gpu = gpu or GPUConfig(num_sms=2, num_mcs=1, epoch_length=500)
+    sim = GPUSimulator(gpu, [LaunchedKernel(spec)])
+    sim.run(cycles)
+    return gpu, sim.result()
+
+
+def compute_spec():
+    return KernelSpec(
+        name="pw-compute", threads_per_tb=64, regs_per_thread=16,
+        mix=InstructionMix(alu=0.95, sfu=0.0, ldg=0.03, stg=0.02, lds=0.0),
+        memory=MemoryPattern(footprint_bytes=1 << 20), ilp=0.9,
+        body_length=16, iterations_per_tb=4)
+
+
+def memory_spec():
+    return KernelSpec(
+        name="pw-memory", threads_per_tb=64, regs_per_thread=16,
+        mix=InstructionMix(alu=0.3, sfu=0.0, ldg=0.55, stg=0.15, lds=0.0),
+        memory=MemoryPattern(footprint_bytes=1 << 26, reuse_fraction=0.0),
+        ilp=0.2, body_length=16, iterations_per_tb=4, intensity="memory")
+
+
+class TestEnergyBreakdown:
+    def test_all_components_nonnegative(self):
+        gpu, result = run(compute_spec())
+        energy = PowerModel(gpu).energy(result)
+        for value in energy.as_dict().values():
+            assert value >= 0
+
+    def test_total_is_sum(self):
+        gpu, result = run(compute_spec())
+        energy = PowerModel(gpu).energy(result)
+        parts = (energy.core_dynamic + energy.l1 + energy.l2
+                 + energy.dram + energy.noc + energy.static)
+        assert energy.total == pytest.approx(parts)
+
+    def test_memory_kernel_spends_more_on_dram(self):
+        gpu, compute_result = run(compute_spec())
+        _gpu, memory_result = run(memory_spec(), gpu=gpu)
+        model = PowerModel(gpu)
+        compute_energy = model.energy(compute_result)
+        memory_energy = model.energy(memory_result)
+        assert (memory_energy.dram / memory_energy.total
+                > compute_energy.dram / compute_energy.total)
+
+    def test_static_energy_scales_with_time(self):
+        gpu, short = run(compute_spec(), cycles=1000)
+        _gpu, long = run(compute_spec(), cycles=4000, gpu=gpu)
+        # Pin SM activity so only the time term varies (gating is tested
+        # separately below).
+        short.extra["mean_sm_activity"] = 0.5
+        long.extra["mean_sm_activity"] = 0.5
+        model = PowerModel(gpu)
+        assert model.energy(long).static == pytest.approx(
+            4 * model.energy(short).static)
+
+    def test_idle_sms_are_clock_gated(self):
+        gpu, result = run(compute_spec())
+        model = PowerModel(gpu)
+        result.extra["mean_sm_activity"] = 1.0
+        busy_static = model.energy(result).static
+        result.extra["mean_sm_activity"] = 0.0
+        idle_static = model.energy(result).static
+        assert idle_static < busy_static
+        assert idle_static > 0  # leakage cannot be gated away
+
+
+class TestPowerAndEfficiency:
+    def test_average_power_positive(self):
+        gpu, result = run(compute_spec())
+        assert PowerModel(gpu).average_power_w(result) > 0
+
+    def test_busy_machine_more_efficient_than_idle(self):
+        """A machine retiring more instructions amortises leakage better."""
+        gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500)
+        _g, busy = run(compute_spec(), gpu=gpu)
+        _g, starved = run(memory_spec(), gpu=gpu)
+        model = PowerModel(gpu)
+        assert (model.instructions_per_watt(busy)
+                > model.instructions_per_watt(starved))
+
+    def test_instructions_per_watt_rejects_bad_power(self):
+        gpu, result = run(compute_spec())
+        with pytest.raises(ValueError):
+            instructions_per_watt(result, 0.0)
+
+    def test_more_sms_burn_more_static_power(self):
+        small_gpu, result = run(compute_spec())
+        big_gpu = GPUConfig(num_sms=8, num_mcs=2, epoch_length=500)
+        small = PowerModel(small_gpu).energy(result).static
+        big = PowerModel(big_gpu).energy(result).static
+        assert big > small

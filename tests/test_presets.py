@@ -1,0 +1,92 @@
+"""Tests for experiment presets and workload enumeration."""
+
+import pytest
+
+from repro.harness.presets import (
+    FAST_PRESET,
+    PAPER_PRESET,
+    all_pairs,
+    all_trios,
+    experiment_preset,
+)
+from repro.kernels import PARBOIL_NAMES, intensity_class
+
+
+class TestPairs:
+    def test_ninety_pairs(self):
+        """Section 4.1: 10 x 9 = 90 ordered pairs."""
+        pairs = all_pairs()
+        assert len(pairs) == 90
+
+    def test_no_self_pairs(self):
+        assert all(qos != nonqos for qos, nonqos in all_pairs())
+
+    def test_every_ordering_present(self):
+        pairs = set(all_pairs())
+        assert ("sgemm", "lbm") in pairs
+        assert ("lbm", "sgemm") in pairs
+
+
+class TestTrios:
+    def test_sixty_of_120(self):
+        trios = all_trios(limit=60)
+        assert len(trios) == 60
+        assert len(set(trios)) == 60
+
+    def test_members_distinct(self):
+        for trio in all_trios(limit=60):
+            assert len(set(trio)) == 3
+
+    def test_limit_above_total(self):
+        assert len(all_trios(limit=1000)) == 120
+
+    def test_deterministic(self):
+        assert all_trios(limit=60) == all_trios(limit=60)
+
+
+class TestPaperPreset:
+    def test_matches_section_41(self):
+        assert PAPER_PRESET.cycles == 2_000_000
+        assert len(PAPER_PRESET.pairs) == 90
+        assert len(PAPER_PRESET.trios) == 60
+        assert PAPER_PRESET.pair_goals == tuple(
+            pytest.approx(0.5 + 0.05 * i) for i in range(10))
+        assert PAPER_PRESET.trio2_goals[0] == 0.25
+        assert PAPER_PRESET.trio2_goals[-1] == 0.70
+        assert PAPER_PRESET.gpu.num_sms == 16
+        assert PAPER_PRESET.gpu_many_sm.num_sms == 56
+
+
+class TestFastPreset:
+    def test_pair_subset_is_class_balanced(self):
+        classes = {f"{intensity_class(q)}+{intensity_class(n)}"
+                   for q, n in FAST_PRESET.pairs}
+        assert classes == {"C+C", "C+M", "M+C", "M+M"}
+
+    def test_subset_members_are_valid_pairs(self):
+        valid = set(all_pairs())
+        assert all(pair in valid for pair in FAST_PRESET.pairs)
+
+    def test_many_sm_config_has_fewer_schedulers(self):
+        assert (FAST_PRESET.gpu_many_sm.sm.warp_schedulers
+                < FAST_PRESET.gpu.sm.warp_schedulers)
+        assert FAST_PRESET.gpu_many_sm.num_sms > FAST_PRESET.gpu.num_sms
+
+    def test_describe(self):
+        text = FAST_PRESET.describe()
+        assert "fast" in text
+        assert str(len(FAST_PRESET.pairs)) in text
+
+
+class TestLookup:
+    def test_known(self):
+        assert experiment_preset("paper") is PAPER_PRESET
+        assert experiment_preset("fast") is FAST_PRESET
+
+    def test_smoke_exists(self):
+        smoke = experiment_preset("smoke")
+        assert smoke.cycles < FAST_PRESET.cycles
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            experiment_preset("slow")

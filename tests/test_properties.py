@@ -1,0 +1,124 @@
+"""Property-based tests over whole-simulator invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.qos import QoSPolicy
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+def spec_strategy(name):
+    return st.builds(
+        lambda threads, regs, ldg, ilp, iterations: KernelSpec(
+            name=name,
+            threads_per_tb=threads,
+            regs_per_thread=regs,
+            mix=InstructionMix(alu=round(0.9 - ldg, 6), sfu=0.0,
+                               ldg=ldg, stg=0.05, lds=0.05),
+            memory=MemoryPattern(footprint_bytes=1 << 24),
+            ilp=ilp, body_length=12, iterations_per_tb=iterations),
+        threads=st.sampled_from([32, 64, 128]),
+        regs=st.sampled_from([8, 16, 32, 64]),
+        ldg=st.sampled_from([0.05, 0.2, 0.4]),
+        ilp=st.sampled_from([0.2, 0.5, 0.9]),
+        iterations=st.integers(1, 3),
+    )
+
+
+GPU = GPUConfig(num_sms=2, num_mcs=1, epoch_length=400,
+                idle_warp_samples=8, sm=SMConfig(warp_schedulers=2))
+
+
+class TestSimulatorInvariants:
+    @given(spec=spec_strategy("prop-a"), cycles=st.integers(500, 2500))
+    @settings(max_examples=15, deadline=None)
+    def test_resources_never_oversubscribed(self, spec, cycles):
+        sim = GPUSimulator(GPU, [LaunchedKernel(spec)])
+        sim.run(cycles)
+        for sm in sim.sms:
+            resources = sm.resources
+            config = GPU.sm
+            assert 0 <= resources.threads <= config.max_threads
+            assert 0 <= resources.registers_bytes <= config.registers_bytes
+            assert 0 <= resources.tbs <= config.max_tbs
+
+    @given(spec_a=spec_strategy("prop-a"), spec_b=spec_strategy("prop-b"))
+    @settings(max_examples=10, deadline=None)
+    def test_corun_determinism(self, spec_a, spec_b):
+        outcomes = []
+        for _ in range(2):
+            sim = GPUSimulator(GPU, [
+                LaunchedKernel(spec_a, is_qos=True, ipc_goal=10.0),
+                LaunchedKernel(spec_b),
+            ], QoSPolicy("rollover"))
+            sim.run(1500)
+            result = sim.result()
+            outcomes.append(tuple(k.retired_thread_insts
+                                  for k in result.kernels))
+        assert outcomes[0] == outcomes[1]
+
+    @given(spec_a=spec_strategy("prop-a"), spec_b=spec_strategy("prop-b"),
+           goal=st.sampled_from([5.0, 20.0, 60.0]))
+    @settings(max_examples=10, deadline=None)
+    def test_retired_instructions_conserved(self, spec_a, spec_b, goal):
+        """Sum of per-kernel retirements equals the SM-side ledger, and all
+        memory requests are attributed to some kernel."""
+        sim = GPUSimulator(GPU, [
+            LaunchedKernel(spec_a, is_qos=True, ipc_goal=goal),
+            LaunchedKernel(spec_b),
+        ], QoSPolicy("rollover"))
+        sim.run(1600)
+        result = sim.result()
+        # Reads travel through L1; stores bypass it (write-through
+        # no-allocate), so reads = L1 accesses and the remainder must be
+        # exactly the write requests.
+        per_kernel_requests = sum(k.memory["requests"] for k in result.kernels)
+        writes = sum(k.memory["write_requests"] for k in result.kernels)
+        l1_accesses = (result.memory_aggregate["l1_hits"]
+                       + result.memory_aggregate["l1_misses"])
+        assert per_kernel_requests == l1_accesses + writes
+        assert all(k.retired_thread_insts >= 0 for k in result.kernels)
+
+    @given(goal_fraction=st.sampled_from([0.3, 0.6, 0.9]))
+    @settings(max_examples=6, deadline=None)
+    def test_quota_bounds_overshoot_per_epoch(self, goal_fraction):
+        """With static adjustment off and a reachable goal, the EWS cap
+        keeps the QoS kernel within the alpha-scaled quota envelope."""
+        spec = KernelSpec(
+            name="cap-test", threads_per_tb=64, regs_per_thread=16,
+            mix=InstructionMix(alu=0.95, sfu=0.0, ldg=0.03, stg=0.02,
+                               lds=0.0),
+            memory=MemoryPattern(footprint_bytes=1 << 20),
+            ilp=0.9, body_length=12, iterations_per_tb=2)
+        iso = GPUSimulator(GPU, [LaunchedKernel(spec)])
+        iso.run(2000)
+        isolated = iso.result().kernels[0].ipc
+        goal = goal_fraction * isolated
+        policy = QoSPolicy("rollover", static_adjustment=False)
+        nonqos = KernelSpec(
+            name="filler", threads_per_tb=64, regs_per_thread=16,
+            memory=MemoryPattern(footprint_bytes=1 << 22),
+            body_length=12, iterations_per_tb=2)
+        sim = GPUSimulator(GPU, [
+            LaunchedKernel(spec, is_qos=True, ipc_goal=goal),
+            LaunchedKernel(nonqos),
+        ], policy)
+        sim.run(4000)
+        ipc = sim.result().kernels[0].ipc
+        # Never more than the alpha cap envelope (plus warp granularity).
+        assert ipc <= goal * policy.alpha_cap + 32
+
+
+class TestSchedulerInvariant:
+    @given(spec=spec_strategy("prop-a"))
+    @settings(max_examples=10, deadline=None)
+    def test_warps_unique_across_schedulers(self, spec):
+        sim = GPUSimulator(GPU, [LaunchedKernel(spec)])
+        sim.run(800)
+        for sm in sim.sms:
+            seen = set()
+            for scheduler in sm.schedulers:
+                for warp in scheduler.warps:
+                    assert id(warp) not in seen
+                    seen.add(id(warp))

@@ -1,0 +1,120 @@
+"""Tests for kernel-wide quota carry and redistribution.
+
+The paper's Rollover keeps a QoS kernel's unused quota; because Quota_k is
+a whole-kernel quantity distributed per SM each epoch, credit stranded on a
+slow SM must flow back into the pool and reach SMs with headroom.  Without
+redistribution a kernel whose SMs have asymmetric capacity equilibrates
+strictly below its goal (the fast SMs are throttled at their share while
+the slow SMs bank credit they can never spend).
+"""
+
+import pytest
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.qos import QoSPolicy
+from repro.qos.quota import (
+    ElasticScheme,
+    NaiveScheme,
+    RolloverScheme,
+    RolloverTimeScheme,
+)
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+class TestCarryRules:
+    def test_naive_carries_nothing(self):
+        scheme = NaiveScheme()
+        assert scheme.carry(37.0, True) == 0.0
+        assert scheme.carry(-5.0, False) == 0.0
+
+    def test_elastic_carries_everything(self):
+        scheme = ElasticScheme()
+        assert scheme.carry(37.0, True) == 37.0
+        assert scheme.carry(-5.0, False) == -5.0
+
+    def test_rollover_carries_qos_surplus_and_all_debt(self):
+        scheme = RolloverScheme()
+        assert scheme.carry(37.0, True) == 37.0
+        assert scheme.carry(-5.0, True) == -5.0
+        assert scheme.carry(37.0, False) == 0.0
+        assert scheme.carry(-5.0, False) == -5.0
+
+    def test_refresh_is_share_plus_carry(self):
+        for scheme in (NaiveScheme(), ElasticScheme(), RolloverScheme()):
+            for residual in (-4.0, 0.0, 9.0):
+                for is_qos in (True, False):
+                    assert scheme.refresh(residual, 50.0, is_qos) == \
+                        pytest.approx(50.0 + scheme.carry(residual, is_qos))
+
+    def test_rollover_time_blocks_nonqos_at_boundary(self):
+        scheme = RolloverTimeScheme()
+        assert scheme.refresh(10.0, 50.0, is_qos=False) == 0.0
+        assert scheme.refresh(10.0, 50.0, is_qos=True) == 60.0
+
+
+class TestRedistributionEndToEnd:
+    def test_asymmetric_interference_still_reaches_goal(self):
+        """QoS kernel shares SM0 with a bandwidth hog and SM1 with nothing:
+        per-SM shares are equal but capacities differ wildly.  Kernel-wide
+        carry must let SM1 absorb SM0's stranded credit."""
+        gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                        idle_warp_samples=10,
+                        sm=SMConfig(warp_schedulers=2))
+        qos = KernelSpec(
+            name="asym-qos", threads_per_tb=64, regs_per_thread=16,
+            mix=InstructionMix(alu=0.85, sfu=0.0, ldg=0.1, stg=0.05, lds=0.0),
+            memory=MemoryPattern(footprint_bytes=1 << 22),
+            ilp=0.8, body_length=16, iterations_per_tb=3)
+        hog = KernelSpec(
+            name="asym-hog", threads_per_tb=64, regs_per_thread=16,
+            mix=InstructionMix(alu=0.2, sfu=0.0, ldg=0.6, stg=0.2, lds=0.0),
+            memory=MemoryPattern(footprint_bytes=1 << 27, reuse_fraction=0.0,
+                                 coalesced_fraction=0.3,
+                                 uncoalesced_degree=4),
+            ilp=0.2, body_length=16, iterations_per_tb=2, intensity="memory")
+
+        iso = GPUSimulator(gpu, [LaunchedKernel(qos)])
+        iso.run(10_000)
+        isolated = iso.result().kernels[0].ipc
+        # Static adjustment is off, so the QoS kernel keeps its symmetric
+        # half of each SM; pick a goal inside that TLP-limited capacity.
+        goal = 0.5 * isolated
+
+        class PinnedQoS(QoSPolicy):
+            """Symmetric targets but the hog confined to SM0."""
+
+            def setup(self, engine):
+                super().setup(engine)
+                engine.set_tb_target(1, 1, 0)  # no hog on SM1
+
+        sim = GPUSimulator(gpu, [
+            LaunchedKernel(qos, is_qos=True, ipc_goal=goal),
+            LaunchedKernel(hog),
+        ], PinnedQoS("rollover", static_adjustment=False))
+        sim.run(1_000)  # warm-up excluded, as in the harness
+        sim.mark_measurement_start()
+        sim.run(20_000)
+        achieved = sim.result().kernels[0].ipc
+        assert achieved >= goal * 0.99
+
+    def test_counters_reset_not_stacked(self):
+        """After a boundary, per-SM counters hold the fresh share (plus the
+        redistributed carry), not share + local residual twice."""
+        gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                        sm=SMConfig(warp_schedulers=2))
+        spec = KernelSpec(
+            name="reset-check", threads_per_tb=64, regs_per_thread=16,
+            memory=MemoryPattern(footprint_bytes=1 << 22),
+            body_length=16, iterations_per_tb=3)
+        policy = QoSPolicy("rollover", static_adjustment=False)
+        sim = GPUSimulator(gpu, [
+            LaunchedKernel(spec, is_qos=True, ipc_goal=5.0),
+            LaunchedKernel(spec.__class__(**{**spec.__dict__, "name": "other"})),
+        ], policy)
+        sim.run(2_000)
+        # Total counter mass across SMs stays bounded by a couple of quotas
+        # (an accumulation bug would grow it every epoch).
+        quota = policy._kernel_quota(sim, 0)
+        total = sum(sm.quota_counters[0] for sm in sim.sms)
+        assert total <= 3 * quota

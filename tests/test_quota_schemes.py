@@ -1,0 +1,121 @@
+"""Tests for the quota schemes, anchored to the Figure 4 worked examples."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.qos.quota import (
+    ElasticScheme,
+    HistoryScheme,
+    NaiveScheme,
+    QuotaScheme,
+    RolloverScheme,
+    RolloverTimeScheme,
+    SCHEME_NAMES,
+    scheme_by_name,
+)
+
+
+class TestFactory:
+    def test_names(self):
+        assert set(SCHEME_NAMES) == {"naive", "history", "elastic",
+                                     "rollover", "rollover-time"}
+
+    @pytest.mark.parametrize("name", SCHEME_NAMES)
+    def test_roundtrip(self, name):
+        assert scheme_by_name(name).name == name
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            scheme_by_name("greedy")
+
+    def test_base_refresh_abstract(self):
+        with pytest.raises(NotImplementedError):
+            QuotaScheme().refresh(0.0, 1.0, True)
+
+
+class TestFlags:
+    def test_naive_has_no_history(self):
+        assert NaiveScheme().use_history is False
+        assert HistoryScheme().use_history is True
+
+    def test_elastic_flag(self):
+        assert ElasticScheme().elastic is True
+        assert RolloverScheme().elastic is False
+
+    def test_rollover_time_blocks_nonqos(self):
+        assert RolloverTimeScheme().initial_nonqos_blocked is True
+        assert RolloverScheme().initial_nonqos_blocked is False
+
+
+class TestNaiveFigure4a:
+    """Figure 4a: quotas reset each epoch, residuals discarded."""
+
+    def test_qos_residual_discarded(self):
+        # End of epoch 1: C_K0 residual is irrelevant, reset to 100.
+        assert NaiveScheme().refresh(37.0, 100.0, is_qos=True) == 100.0
+
+    def test_nonqos_overrun_discarded_at_boundary(self):
+        # C_K1 = -2 at epoch end -> reset to its fresh quota 50.
+        assert NaiveScheme().refresh(-2.0, 50.0, is_qos=False) == 50.0
+
+
+class TestElasticFigure4b:
+    """Figure 4b: residuals are added to fresh quotas at elastic restarts."""
+
+    def test_overrun_carries(self):
+        # C_K0 = -3 when the elastic epoch restarts -> 100 + (-3) = 97.
+        assert ElasticScheme().refresh(-3.0, 100.0, is_qos=True) == 97.0
+
+    def test_nonqos_overrun_carries(self):
+        # C_K1 = -2 -> 50 + (-2) = 48.
+        assert ElasticScheme().refresh(-2.0, 50.0, is_qos=False) == 48.0
+
+
+class TestRolloverFigure4c:
+    """Figure 4c: unused QoS quota rolls over; non-QoS surplus is discarded."""
+
+    def test_qos_surplus_rolls_over(self):
+        # Status C_K0 = 5 at the boundary -> 100 + 5 = 105.
+        assert RolloverScheme().refresh(5.0, 100.0, is_qos=True) == 105.0
+
+    def test_nonqos_surplus_discarded(self):
+        # Status C_K1 = 20 -> reset to 50 (not 70).
+        assert RolloverScheme().refresh(20.0, 50.0, is_qos=False) == 50.0
+
+    def test_nonqos_debt_carries(self):
+        # Status C_K1 = -3 -> 50 - 3 = 47.
+        assert RolloverScheme().refresh(-3.0, 50.0, is_qos=False) == 47.0
+
+    def test_qos_debt_carries(self):
+        assert RolloverScheme().refresh(-1.0, 100.0, is_qos=True) == 99.0
+
+
+class TestRolloverTime:
+    def test_qos_accounting_same_as_rollover(self):
+        rollover, timed = RolloverScheme(), RolloverTimeScheme()
+        for residual in (-4.0, 0.0, 12.0):
+            assert (timed.refresh(residual, 80.0, True)
+                    == rollover.refresh(residual, 80.0, True))
+
+    def test_nonqos_always_starts_blocked(self):
+        timed = RolloverTimeScheme()
+        assert timed.refresh(25.0, 50.0, is_qos=False) == 0.0
+        assert timed.refresh(-25.0, 50.0, is_qos=False) == 0.0
+
+
+class TestSchemeProperties:
+    @given(residual=st.floats(-1000, 1000), share=st.floats(0, 1000))
+    def test_rollover_qos_never_below_elastic(self, residual, share):
+        """Rollover and Elastic agree on QoS counters (both carry)."""
+        assert (RolloverScheme().refresh(residual, share, True)
+                == ElasticScheme().refresh(residual, share, True))
+
+    @given(residual=st.floats(-1000, 1000), share=st.floats(0, 1000))
+    def test_rollover_nonqos_never_banks_surplus(self, residual, share):
+        value = RolloverScheme().refresh(residual, share, False)
+        assert value <= share
+
+    @given(residual=st.floats(-1000, 1000), share=st.floats(0, 1000),
+           is_qos=st.booleans())
+    def test_naive_ignores_residual(self, residual, share, is_qos):
+        assert NaiveScheme().refresh(residual, share, is_qos) == share

@@ -1,0 +1,42 @@
+"""Tests for ASCII report formatting."""
+
+from repro.harness.report import format_table, series_rows
+
+
+class TestFormatTable:
+    def test_contains_title_and_headers(self):
+        table = format_table("My Figure", "goal", ("a", "b"),
+                             [("50%", 0.5, 0.25)])
+        assert "My Figure" in table
+        assert "goal" in table
+        assert "a" in table and "b" in table
+
+    def test_floats_formatted(self):
+        table = format_table("T", "x", ("v",), [("row", 0.123456)])
+        assert "0.123" in table
+
+    def test_none_rendered_as_dash(self):
+        table = format_table("T", "x", ("v",), [("row", None)])
+        assert "-" in table.splitlines()[-1]
+
+    def test_notes_appended(self):
+        table = format_table("T", "x", ("v",), [("row", 1)],
+                             notes="paper: 42")
+        assert table.endswith("paper: 42")
+
+    def test_integers_not_float_formatted(self):
+        table = format_table("T", "x", ("v",), [("row", 7)])
+        assert " 7" in table
+        assert "7.000" not in table
+
+    def test_row_count(self):
+        rows = [(f"r{i}", i) for i in range(5)]
+        table = format_table("T", "x", ("v",), rows)
+        assert len(table.splitlines()) == 4 + 5  # header block + rows
+
+
+class TestSeriesRows:
+    def test_pivots_series(self):
+        series = {"a": {"x1": 1.0, "x2": 2.0}, "b": {"x1": 3.0}}
+        rows = series_rows(["x1", "x2"], series, ["a", "b"])
+        assert rows == [("x1", 1.0, 3.0), ("x2", 2.0, None)]

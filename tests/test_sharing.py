@@ -1,0 +1,124 @@
+"""Tests for the serial and fairness sharing regimes."""
+
+import pytest
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.sharing import FairSMKPolicy, SerialPolicy
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+def spec(name, ilp=0.8):
+    return KernelSpec(
+        name=name, threads_per_tb=64, regs_per_thread=16,
+        mix=InstructionMix(alu=0.85, sfu=0.0, ldg=0.1, stg=0.05, lds=0.0),
+        memory=MemoryPattern(footprint_bytes=1 << 22),
+        ilp=ilp, body_length=16, iterations_per_tb=3)
+
+
+def make_gpu():
+    return GPUConfig(num_sms=2, num_mcs=1, epoch_length=400,
+                     idle_warp_samples=8, sm=SMConfig(warp_schedulers=2))
+
+
+def isolated_ipc(kernel_spec, cycles=6000):
+    sim = GPUSimulator(make_gpu(), [LaunchedKernel(kernel_spec)])
+    sim.run(cycles)
+    return sim.result().kernels[0].ipc
+
+
+class TestSerialPolicy:
+    def test_rejects_bad_slice(self):
+        with pytest.raises(ValueError):
+            SerialPolicy(slice_epochs=0)
+
+    def test_single_owner_at_any_time(self):
+        policy = SerialPolicy(slice_epochs=2)
+        sim = GPUSimulator(make_gpu(),
+                           [LaunchedKernel(spec("a")), LaunchedKernel(spec("b"))],
+                           policy)
+        sim.setup()
+        for sm in sim.sms:
+            resident = [k for k in range(2) if sm.tb_count[k] > 0]
+            assert resident == [0]
+
+    def test_ownership_rotates(self):
+        policy = SerialPolicy(slice_epochs=1)
+        sim = GPUSimulator(make_gpu(),
+                           [LaunchedKernel(spec("a")), LaunchedKernel(spec("b"))],
+                           policy)
+        sim.run(4000)
+        assert policy.switches >= 2
+        result = sim.result()
+        # Both kernels made progress across their slices.
+        assert all(k.retired_thread_insts > 0 for k in result.kernels)
+
+    def test_switches_pay_preemption(self):
+        policy = SerialPolicy(slice_epochs=1)
+        sim = GPUSimulator(make_gpu(),
+                           [LaunchedKernel(spec("a")), LaunchedKernel(spec("b"))],
+                           policy)
+        sim.run(3000)
+        assert sim.result().evictions > 0
+
+    def test_single_kernel_never_switches(self):
+        policy = SerialPolicy(slice_epochs=1)
+        sim = GPUSimulator(make_gpu(), [LaunchedKernel(spec("a"))], policy)
+        sim.run(2000)
+        assert policy.switches == 0
+
+
+class TestFairSMKPolicy:
+    def test_requires_isolated_ipcs(self):
+        with pytest.raises(ValueError):
+            FairSMKPolicy({})
+        with pytest.raises(ValueError):
+            FairSMKPolicy({"a": 0.0})
+
+    def test_missing_kernel_rejected_at_setup(self):
+        policy = FairSMKPolicy({"a": 10.0})
+        sim = GPUSimulator(make_gpu(),
+                           [LaunchedKernel(spec("a")), LaunchedKernel(spec("b"))],
+                           policy)
+        with pytest.raises(ValueError, match="no isolated IPC"):
+            sim.setup()
+
+    def test_slowdowns_tracked(self):
+        fast, slow = spec("fast", ilp=0.9), spec("slow", ilp=0.9)
+        iso = {"fast": isolated_ipc(fast), "slow": isolated_ipc(slow)}
+        policy = FairSMKPolicy(iso)
+        sim = GPUSimulator(make_gpu(),
+                           [LaunchedKernel(fast), LaunchedKernel(slow)],
+                           policy)
+        sim.run(4000)
+        assert set(policy.slowdowns) == {0, 1}
+        assert all(0 <= value <= 1.5 for value in policy.slowdowns.values())
+
+    def test_fairness_better_than_unmanaged(self):
+        """Fairness management must narrow the slowdown gap vs no management
+        for an asymmetric pair (one kernel naturally dominates)."""
+        import repro.sim as sim_module
+        big = spec("dominant", ilp=0.95)
+        small = KernelSpec(
+            name="meek", threads_per_tb=64, regs_per_thread=16,
+            mix=InstructionMix(alu=0.4, sfu=0.0, ldg=0.45, stg=0.15, lds=0.0),
+            memory=MemoryPattern(footprint_bytes=1 << 26, reuse_fraction=0.0),
+            ilp=0.2, body_length=16, iterations_per_tb=3, intensity="memory")
+        iso = {"dominant": isolated_ipc(big), "meek": isolated_ipc(small)}
+
+        def run(policy):
+            sim = GPUSimulator(make_gpu(),
+                               [LaunchedKernel(big), LaunchedKernel(small)],
+                               policy)
+            sim.run(8000)
+            result = sim.result()
+            shares = [result.kernels[0].ipc / iso["dominant"],
+                      result.kernels[1].ipc / iso["meek"]]
+            return min(shares) / max(shares)
+
+        unmanaged = run(sim_module.SharingPolicy())
+        fair = run(FairSMKPolicy(iso))
+        assert fair >= unmanaged - 0.05
+
+    def test_fairness_index_defaults_to_one(self):
+        assert FairSMKPolicy({"a": 1.0}).fairness_index() == 1.0

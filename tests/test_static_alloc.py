@@ -1,0 +1,151 @@
+"""Tests for symmetric TB allocation and runtime adjustment (Section 3.6)."""
+
+import pytest
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.qos import QoSPolicy
+from repro.qos.static_alloc import StaticAllocator, symmetric_targets
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+def spec(name, threads=128, regs=32, smem=0):
+    return KernelSpec(name=name, threads_per_tb=threads,
+                      regs_per_thread=regs, smem_per_tb_bytes=smem,
+                      memory=MemoryPattern(footprint_bytes=1 << 22))
+
+
+class TestSymmetricTargets:
+    def test_paper_example_one_qos_two_nonqos(self):
+        """Section 3.6: 'one QoS kernel and two non-QoS kernels on a GPU
+        with 16 SMs: the QoS kernel will run on 16 SMs and each non-QoS
+        kernel on 8 SMs'."""
+        config = GPUConfig(num_sms=16)
+        specs = [spec("qos"), spec("nq1"), spec("nq2")]
+        targets = symmetric_targets(config, [0], [1, 2], specs)
+        assert len(targets) == 16
+        assert all(targets[sm].get(0, 0) >= 1 for sm in range(16))
+        nq1_sms = sum(1 for sm in range(16) if targets[sm].get(1, 0) >= 1)
+        nq2_sms = sum(1 for sm in range(16) if targets[sm].get(2, 0) >= 1)
+        assert nq1_sms == 8
+        assert nq2_sms == 8
+        # Partitions are disjoint.
+        assert all(not (targets[sm].get(1, 0) and targets[sm].get(2, 0))
+                   for sm in range(16))
+
+    def test_all_qos_share_all_sms(self):
+        config = GPUConfig(num_sms=4)
+        specs = [spec("q1"), spec("q2")]
+        targets = symmetric_targets(config, [0, 1], [], specs)
+        for sm_targets in targets:
+            assert sm_targets[0] >= 1 and sm_targets[1] >= 1
+
+    def test_targets_jointly_feasible(self):
+        """The equal-thread split must be scaled down to fit registers."""
+        config = GPUConfig(num_sms=2)
+        heavy = spec("heavy", threads=128, regs=84)
+        light = spec("light", threads=128, regs=48, smem=8 * 1024)
+        targets = symmetric_targets(config, [0], [1], [heavy, light])
+        for sm_targets in targets:
+            regs = sum([heavy, light][idx].regs_per_tb_bytes * count
+                       for idx, count in sm_targets.items())
+            assert regs <= config.sm.registers_bytes
+            threads = sum([heavy, light][idx].threads_per_tb * count
+                          for idx, count in sm_targets.items())
+            assert threads <= config.sm.max_threads
+
+    def test_more_nonqos_than_sms_rejected(self):
+        config = GPUConfig(num_sms=2)
+        specs = [spec(f"k{i}") for i in range(4)]
+        with pytest.raises(ValueError):
+            symmetric_targets(config, [], [0, 1, 2, 3], specs)
+
+    def test_uneven_partition_gives_leftover_to_last(self):
+        config = GPUConfig(num_sms=5)
+        specs = [spec("q"), spec("a"), spec("b")]
+        targets = symmetric_targets(config, [0], [1, 2], specs)
+        a_sms = [sm for sm in range(5) if targets[sm].get(1, 0)]
+        b_sms = [sm for sm in range(5) if targets[sm].get(2, 0)]
+        assert len(a_sms) + len(b_sms) == 5
+        assert abs(len(a_sms) - len(b_sms)) <= 1
+
+
+def _corun(qos_spec, nonqos_spec, goal, cycles=12_000, static=True):
+    gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                    idle_warp_samples=10, sm=SMConfig(warp_schedulers=2))
+    policy = QoSPolicy("rollover", static_adjustment=static)
+    sim = GPUSimulator(gpu, [
+        LaunchedKernel(qos_spec, is_qos=True, ipc_goal=goal),
+        LaunchedKernel(nonqos_spec),
+    ], policy)
+    sim.run(cycles)
+    return sim, policy
+
+
+class TestRuntimeAdjustment:
+    def _isolated_ipc(self, kernel_spec):
+        gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                        sm=SMConfig(warp_schedulers=2))
+        sim = GPUSimulator(gpu, [LaunchedKernel(kernel_spec)])
+        sim.run(12_000)
+        return sim.result().kernels[0].ipc
+
+    def test_lagging_qos_kernel_gains_tbs(self):
+        """A hard goal must trigger TB grants (and usually evictions)."""
+        qos = spec("qos-grow", regs=48)
+        nonqos = spec("nq", regs=48)
+        goal = 0.9 * self._isolated_ipc(qos)
+        sim, policy = _corun(qos, nonqos, goal)
+        assert policy.allocator.grants > 0
+        qos_tbs = sim.total_tbs(0)
+        nonqos_tbs = sim.total_tbs(1)
+        assert qos_tbs > nonqos_tbs
+
+    def test_static_adjustment_disabled_means_no_grants(self):
+        qos = spec("qos-static", regs=48)
+        goal = 0.9 * self._isolated_ipc(qos)
+        _sim, policy = _corun(qos, spec("nq", regs=48), goal, static=False)
+        assert policy.allocator.grants == 0
+        assert policy.allocator.evictions_requested == 0
+
+    def test_easy_goal_triggers_no_eviction_pressure(self):
+        qos = spec("qos-easy", regs=48)
+        goal = 0.2 * self._isolated_ipc(qos)
+        sim, _policy = _corun(qos, spec("nq", regs=48), goal)
+        result = sim.result()
+        assert result.kernels[0].reached_goal
+        # The non-QoS kernel keeps a healthy share of the machine.
+        assert sim.total_tbs(1) >= 2
+
+
+class TestAllocatorHelpers:
+    def test_tbs_to_vacate_counts_resources(self):
+        gpu = GPUConfig(num_sms=1, num_mcs=1)
+        big = spec("big", threads=256, regs=64)     # 64 KB regs per TB
+        small = spec("small", threads=64, regs=16)  # 4 KB regs per TB
+        sim = GPUSimulator(gpu, [LaunchedKernel(big), LaunchedKernel(small)])
+        sim.tb_targets[0][1] = 32
+        sim.setup()
+        allocator = StaticAllocator(gpu)
+        sm = sim.sms[0]
+        needed = allocator._tbs_to_vacate(sim, sm, big, victim_idx=1)
+        assert needed is not None
+        freed = needed * small.regs_per_tb_bytes
+        free_now = gpu.sm.registers_bytes - sm.resources.registers_bytes
+        assert freed + free_now >= big.regs_per_tb_bytes
+
+    def test_vacate_impossible_when_victim_frees_nothing(self):
+        gpu = GPUConfig(num_sms=1, num_mcs=1)
+        smem_hungry = spec("smem", threads=64, regs=8, smem=96 * 1024)
+        no_smem = spec("nosmem", threads=64, regs=8, smem=0)
+        sim = GPUSimulator(gpu, [LaunchedKernel(smem_hungry),
+                                 LaunchedKernel(no_smem)])
+        sim.tb_targets[0][0] = 1
+        sim.tb_targets[0][1] = 4
+        sim.setup()
+        # Wanting a second smem-hungry TB: evicting no-smem TBs can never
+        # free shared memory.
+        allocator = StaticAllocator(gpu)
+        needed = allocator._tbs_to_vacate(sim, sim.sms[0], smem_hungry,
+                                          victim_idx=1)
+        assert needed is None

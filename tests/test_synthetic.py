@@ -1,0 +1,88 @@
+"""Tests for the synthetic workload generators — including behavioural
+checks that each archetype exhibits its intended bottleneck on the
+simulator."""
+
+import pytest
+
+from repro.config import GPUConfig, SMConfig
+from repro.kernels.synthetic import (
+    barrier_kernel,
+    cache_resident_kernel,
+    compute_kernel,
+    irregular_kernel,
+    microbenchmark_suite,
+    streaming_kernel,
+)
+from repro.sim import GPUSimulator, LaunchedKernel
+
+
+def run(spec, cycles=8000):
+    gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                    sm=SMConfig(warp_schedulers=2))
+    sim = GPUSimulator(gpu, [LaunchedKernel(spec)])
+    sim.run(cycles)
+    return sim.result().kernels[0]
+
+
+class TestGeneratorsValidate:
+    def test_all_archetypes_construct(self):
+        suite = microbenchmark_suite()
+        assert set(suite) == {"compute", "streaming", "irregular",
+                              "cache-resident", "barrier"}
+
+    def test_streaming_store_fraction_bounds(self):
+        with pytest.raises(ValueError):
+            streaming_kernel(store_fraction=0.5)
+
+    def test_irregular_fanout_bounds(self):
+        with pytest.raises(ValueError):
+            irregular_kernel(fanout=0)
+
+    def test_cache_resident_size_bounds(self):
+        with pytest.raises(ValueError):
+            cache_resident_kernel(working_set_kb=0)
+
+    def test_names_applied(self):
+        assert compute_kernel("my-name").name == "my-name"
+
+
+class TestArchetypeBehaviour:
+    def test_compute_much_faster_than_streaming(self):
+        compute_ipc = run(compute_kernel()).ipc
+        stream_ipc = run(streaming_kernel()).ipc
+        # The test machine peaks at 128 thread-IPC (2 SMs x 2 schedulers),
+        # which the compute kernel saturates; streaming sits far below.
+        assert compute_ipc > 2.5 * stream_ipc
+        assert compute_ipc > 120
+
+    def test_ilp_raises_compute_throughput(self):
+        low = run(compute_kernel("syn-ilp-low", ilp=0.1)).ipc
+        high = run(compute_kernel("syn-ilp-high", ilp=0.95)).ipc
+        assert high > low
+
+    def test_irregular_generates_more_traffic_per_instruction(self):
+        stream = run(streaming_kernel())
+        gather = run(irregular_kernel())
+        stream_rate = stream.memory["requests"] / max(1, stream.retired_thread_insts)
+        gather_rate = gather.memory["requests"] / max(1, gather.retired_thread_insts)
+        assert gather_rate > stream_rate
+
+    def test_cache_resident_hits_more_than_streaming(self):
+        resident = run(cache_resident_kernel(working_set_kb=64))
+        stream = run(streaming_kernel())
+        resident_hit = resident.memory["l1_hits"] / max(1, resident.memory["requests"])
+        stream_hit = stream.memory["l1_hits"] / max(1, stream.memory["requests"])
+        assert resident_hit > stream_hit
+
+    def test_barrier_kernel_completes_tbs(self):
+        result = run(barrier_kernel(), cycles=12_000)
+        assert result.completed_tbs > 0
+
+    def test_working_set_inside_l2_avoids_dram(self):
+        resident = run(cache_resident_kernel("syn-l2-res", working_set_kb=192))
+        stream = run(streaming_kernel("syn-l2-str", footprint_mb=512))
+        resident_dram = (resident.memory["dram_accesses"]
+                         / max(1, resident.memory["requests"]))
+        stream_dram = (stream.memory["dram_accesses"]
+                       / max(1, stream.memory["requests"]))
+        assert resident_dram < stream_dram

@@ -1,0 +1,110 @@
+"""Tests for instruction pattern generation and warp programs."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa import Opcode
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
+from repro.kernels.trace import WarpProgram, build_pattern
+
+
+def _spec(mix=None, body_length=100, **kwargs):
+    return KernelSpec(name=kwargs.pop("name", "trace-test"),
+                      mix=mix or InstructionMix(),
+                      body_length=body_length, **kwargs)
+
+
+class TestBuildPattern:
+    def test_length_matches_body(self):
+        spec = _spec(body_length=64)
+        assert len(build_pattern(spec)) == 64
+
+    def test_barrier_appended(self):
+        mix = InstructionMix(barrier_per_iteration=True)
+        spec = _spec(mix=mix, body_length=30)
+        pattern = build_pattern(spec)
+        assert len(pattern) == 31
+        assert pattern[-1].opcode == Opcode.BAR
+        assert all(inst.opcode != Opcode.BAR for inst in pattern[:-1])
+
+    def test_mix_apportionment_exact(self):
+        mix = InstructionMix(alu=0.5, sfu=0.1, ldg=0.2, stg=0.1, lds=0.1)
+        pattern = build_pattern(_spec(mix=mix, body_length=100))
+        counts = {}
+        for inst in pattern:
+            counts[inst.opcode] = counts.get(inst.opcode, 0) + 1
+        assert counts[Opcode.ALU] == 50
+        assert counts[Opcode.SFU] == 10
+        assert counts[Opcode.LDG] == 20
+        assert counts[Opcode.STG] == 10
+        assert counts[Opcode.LDS] == 10
+
+    def test_deterministic_per_name(self):
+        assert build_pattern(_spec()) == build_pattern(_spec())
+
+    def test_different_names_differ(self):
+        first = build_pattern(_spec(name="alpha", ilp=0.5))
+        second = build_pattern(_spec(name="beta", ilp=0.5))
+        assert first != second
+
+    def test_zero_divergence_all_lanes_active(self):
+        pattern = build_pattern(_spec(divergence=0.0))
+        assert all(inst.active_lanes == 32 for inst in pattern)
+
+    def test_divergence_produces_partial_warps(self):
+        pattern = build_pattern(_spec(divergence=0.9, body_length=200))
+        assert any(inst.active_lanes < 32 for inst in pattern)
+
+    def test_global_memory_always_dependent(self):
+        pattern = build_pattern(_spec(ilp=1.0, body_length=200))
+        for inst in pattern:
+            if inst.opcode in (Opcode.LDG, Opcode.STG):
+                assert inst.dependent
+
+    def test_high_ilp_gives_independent_alu(self):
+        pattern = build_pattern(_spec(ilp=1.0, body_length=200))
+        alu = [inst for inst in pattern if inst.opcode == Opcode.ALU]
+        assert alu and all(not inst.dependent for inst in alu)
+
+    @given(fractions=st.lists(
+        st.floats(min_value=0.0, max_value=1.0), min_size=5, max_size=5
+    ).filter(lambda f: sum(f) > 0.1), body=st.integers(10, 300))
+    def test_counts_always_sum_to_body_length(self, fractions, body):
+        total = sum(fractions)
+        normalised = [value / total for value in fractions]
+        # Re-normalise exactly: put rounding residue into alu.
+        alu, sfu, ldg, stg, lds = normalised
+        alu = max(0.0, 1.0 - (sfu + ldg + stg + lds))
+        mix = InstructionMix(alu=alu, sfu=sfu, ldg=ldg, stg=stg, lds=lds)
+        pattern = build_pattern(_spec(mix=mix, body_length=body))
+        assert len(pattern) == body
+
+
+class TestWarpProgram:
+    def test_length(self):
+        program = WarpProgram.for_spec(_spec(body_length=10,
+                                             iterations_per_tb=4))
+        assert program.length == 40
+
+    def test_instruction_wraps_pattern(self):
+        spec = _spec(body_length=10, iterations_per_tb=3)
+        program = WarpProgram.for_spec(spec)
+        for index in range(program.length):
+            assert program.instruction(index) is program.pattern[index % 10]
+
+    @pytest.mark.parametrize("index", [-1, 1000])
+    def test_out_of_range(self, index):
+        program = WarpProgram.for_spec(_spec(body_length=10,
+                                             iterations_per_tb=2))
+        with pytest.raises(IndexError):
+            program.instruction(index)
+
+    def test_thread_instructions_counts_lanes(self):
+        spec = _spec(divergence=0.0, body_length=10, iterations_per_tb=2)
+        program = WarpProgram.for_spec(spec)
+        assert program.thread_instructions() == 10 * 2 * 32
+
+    def test_thread_instructions_with_divergence_below_full(self):
+        spec = _spec(divergence=1.0, body_length=50, iterations_per_tb=1)
+        program = WarpProgram.for_spec(spec)
+        assert program.thread_instructions() < 50 * 32
