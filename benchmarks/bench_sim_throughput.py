@@ -1,0 +1,152 @@
+"""Simulator throughput microbenchmark.
+
+Measures, on the current machine:
+
+1. Engine hot-path speed: simulated cycles/second for an isolated kernel
+   and for a QoS pair under the rollover scheme (the two shapes every
+   figure sweep is built from).
+2. Sweep wall-clock for a fast-preset Figure 6 slice three ways: serial
+   ``CaseRunner``, parallel ``ParallelCaseRunner``, and a warm-cache rerun
+   (persistent case cache pre-populated by the parallel pass).
+
+Run standalone — it is a script, not a pytest benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+
+The report is printed and written to ``benchmarks/results/
+bench_sim_throughput.txt``.  Parallel speedup scales with the core count
+(printed in the header); the warm-cache rerun is machine-independent and
+should cost well under 10% of the cold sweep.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import pathlib
+import platform
+import tempfile
+import time
+
+from repro.config import FAST_GPU
+from repro.harness.cache import CaseCache, code_salt
+from repro.harness.parallel import ParallelCaseRunner, resolve_workers
+from repro.harness.runner import CaseRunner, CaseSpec
+from repro.kernels import get_kernel
+from repro.qos import QoSPolicy
+from repro.sim import GPUSimulator, LaunchedKernel
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "bench_sim_throughput.txt"
+
+# A fast-preset Figure 6 slice: QoS goal sweep over three representative
+# pairs under the rollover scheme (plus spart for scheme diversity).
+SWEEP_GOALS = (0.5, 0.65, 0.8)
+SWEEP_PAIRS = (("sgemm", "lbm"), ("mri-q", "spmv"), ("stencil", "histo"))
+
+
+def engine_throughput(cycles: int) -> list:
+    """Simulated cycles/second for the two canonical workload shapes."""
+    rows = []
+    shapes = [
+        ("isolated sgemm", [LaunchedKernel(get_kernel("sgemm"))], None),
+        ("rollover pair sgemm+lbm",
+         [LaunchedKernel(get_kernel("sgemm"), is_qos=True, ipc_goal=100.0),
+          LaunchedKernel(get_kernel("lbm"))],
+         QoSPolicy("rollover")),
+    ]
+    for label, launches, policy in shapes:
+        sim = GPUSimulator(FAST_GPU, launches, policy)
+        started = time.perf_counter()
+        sim.run(cycles)
+        elapsed = time.perf_counter() - started
+        rows.append((label, cycles, elapsed, cycles / elapsed))
+    return rows
+
+
+def sweep_cases() -> list:
+    return [CaseSpec.pair(qos, other, goal, policy)
+            for qos, other in SWEEP_PAIRS
+            for goal in SWEEP_GOALS
+            for policy in ("rollover", "spart")]
+
+
+def sweep_timings(cycles: int, workers: int) -> list:
+    cases = sweep_cases()
+    rows = []
+
+    started = time.perf_counter()
+    serial_records = CaseRunner(FAST_GPU, cycles).sweep(cases)
+    serial = time.perf_counter() - started
+    rows.append(("serial CaseRunner", serial, 1.0))
+
+    with tempfile.TemporaryDirectory() as tmp:
+        started = time.perf_counter()
+        parallel_records = ParallelCaseRunner(
+            FAST_GPU, cycles, workers=workers,
+            cache=CaseCache(pathlib.Path(tmp))).sweep(cases)
+        parallel = time.perf_counter() - started
+        rows.append((f"parallel x{workers}", parallel, serial / parallel))
+
+        started = time.perf_counter()
+        warm_records = ParallelCaseRunner(
+            FAST_GPU, cycles, workers=workers,
+            cache=CaseCache(pathlib.Path(tmp))).sweep(cases)
+        warm = time.perf_counter() - started
+        rows.append(("warm cache rerun", warm, serial / warm))
+
+    assert parallel_records == serial_records, "parallel sweep diverged"
+    assert warm_records == serial_records, "cached sweep diverged"
+    return rows
+
+
+def format_report(engine_rows, sweep_rows, cycles, workers) -> str:
+    lines = []
+    lines.append("simulator throughput microbenchmark")
+    lines.append("=" * 35)
+    lines.append(f"python {platform.python_version()}  "
+                 f"cores {os.cpu_count()}  workers {workers}  "
+                 f"code salt {code_salt()}")
+    lines.append("")
+    lines.append(f"engine hot path ({cycles} cycles, FAST_GPU)")
+    lines.append(f"{'workload':<28}{'seconds':>9}{'cycles/sec':>13}")
+    for label, _cycles, elapsed, rate in engine_rows:
+        lines.append(f"{label:<28}{elapsed:>9.3f}{rate:>13,.0f}")
+    lines.append("")
+    cases = len(sweep_cases())
+    lines.append(f"figure 6 slice sweep ({cases} cases, {cycles} cycles each)")
+    lines.append(f"{'executor':<28}{'seconds':>9}{'vs serial':>13}")
+    for label, elapsed, speedup in sweep_rows:
+        lines.append(f"{label:<28}{elapsed:>9.3f}{speedup:>12.1f}x")
+    warm = sweep_rows[-1][1]
+    cold = sweep_rows[0][1]
+    lines.append("")
+    lines.append(f"warm-cache rerun is {100.0 * warm / cold:.1f}% "
+                 "of the cold serial sweep")
+    return "\n".join(lines) + "\n"
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--cycles", type=int, default=24000,
+                        help="simulated cycles per case (default: 24000)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool width (default: REPRO_WORKERS or "
+                             "cpu_count-1)")
+    parser.add_argument("--no-save", action="store_true",
+                        help="print only; do not update benchmarks/results/")
+    args = parser.parse_args()
+
+    workers = resolve_workers(args.workers)
+    report = format_report(engine_throughput(args.cycles),
+                           sweep_timings(args.cycles, workers),
+                           args.cycles, workers)
+    print(report, end="")
+    if not args.no_save:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(report)
+        print(f"[written to {RESULTS_PATH}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

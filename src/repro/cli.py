@@ -6,7 +6,15 @@ Examples::
     repro-gpu-qos fig06a
     repro-gpu-qos fig09 --preset fast
     repro-gpu-qos all --preset fast -o results/
+    repro-gpu-qos fig06a --workers 8          # sweep fan-out width
+    repro-gpu-qos fig06a --no-cache           # skip the persistent store
+    repro-gpu-qos cache stats                 # inspect the persistent store
+    repro-gpu-qos cache clear
     python -m repro fig14
+
+Environment knobs: ``REPRO_WORKERS`` sets the default process-pool width,
+``REPRO_CACHE`` relocates (path) or disables (``0``) the persistent case
+cache.
 """
 
 from __future__ import annotations
@@ -29,23 +37,61 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig06a, table1, sec48_history), "
-             "'all', or 'list'")
+             "'all', 'list', or 'cache'")
+    parser.add_argument(
+        "action", nargs="?", default=None,
+        help="subcommand for 'cache': stats or clear")
     parser.add_argument("--preset", default="fast",
                         choices=("fast", "paper", "smoke"),
                         help="experiment scale (default: fast)")
     parser.add_argument("-o", "--output-dir", default=None,
                         help="also write each result table to this directory")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="process-pool width for case sweeps "
+                             "(default: REPRO_WORKERS or cpu_count-1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent case cache")
     return parser
 
 
+def _cache_command(action: Optional[str]) -> int:
+    from repro.harness.cache import CaseCache, cache_disabled_by_env
+
+    if action not in ("stats", "clear"):
+        print("usage: repro-gpu-qos cache {stats|clear}", file=sys.stderr)
+        return 2
+    if cache_disabled_by_env():
+        print("persistent cache disabled by REPRO_CACHE", file=sys.stderr)
+        return 0
+    cache = CaseCache()
+    if action == "clear":
+        removed = cache.clear()
+        print(f"cleared {removed} entries from {cache.path}")
+        return 0
+    for key, value in cache.stats().items():
+        print(f"{key}: {value}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # e.g. `repro-gpu-qos cache stats | head -1`
+        return 0
+
+
+def _main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for experiment_id in ExperimentSuite.EXPERIMENTS:
             print(experiment_id)
         return 0
+    if args.experiment == "cache":
+        return _cache_command(args.action)
 
-    suite = ExperimentSuite(experiment_preset(args.preset))
+    suite = ExperimentSuite(experiment_preset(args.preset),
+                            workers=args.workers,
+                            cache=None if args.no_cache else "default")
     print(suite.preset.describe(), file=sys.stderr)
     if args.experiment == "all":
         experiment_ids = list(ExperimentSuite.EXPERIMENTS)

@@ -5,6 +5,10 @@ Layout:
 * :mod:`repro.harness.presets` — the fast (default) and paper-scale
   experiment presets, plus pair/trio workload enumeration.
 * :mod:`repro.harness.runner` — memoised isolated and co-run execution.
+* :mod:`repro.harness.parallel` — process-pool sweep fan-out
+  (:class:`ParallelCaseRunner`).
+* :mod:`repro.harness.cache` — persistent on-disk case store shared by all
+  figures and invocations.
 * :mod:`repro.harness.metrics` — QoSreach, normalized throughput, overshoot,
   miss histograms.
 * :mod:`repro.harness.experiments` — one entry point per paper figure/table.
@@ -19,7 +23,10 @@ from repro.harness.presets import (
     all_pairs,
     all_trios,
 )
-from repro.harness.runner import CaseRecord, CaseRunner, KernelOutcome
+from repro.harness.runner import (CaseRecord, CaseRunner, CaseSpec,
+                                  KernelOutcome)
+from repro.harness.parallel import ParallelCaseRunner, resolve_workers
+from repro.harness.cache import CaseCache, open_default_cache
 from repro.harness.metrics import (
     qos_reach,
     mean_nonqos_throughput,
@@ -39,7 +46,12 @@ __all__ = [
     "all_trios",
     "CaseRecord",
     "CaseRunner",
+    "CaseSpec",
     "KernelOutcome",
+    "ParallelCaseRunner",
+    "resolve_workers",
+    "CaseCache",
+    "open_default_cache",
     "qos_reach",
     "mean_nonqos_throughput",
     "mean_qos_overshoot",

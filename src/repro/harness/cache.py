@@ -1,0 +1,217 @@
+"""Persistent on-disk store for case results (the warm-sweep fast path).
+
+Every figure of the reproduction slices the same (workload x goal x scheme)
+case sweep, but a :class:`~repro.harness.runner.CaseRunner`'s memo dies with
+its process — so regenerating a figure after an unrelated edit re-simulates
+everything.  :class:`CaseCache` gives `CaseRecord`s and isolated IPCs a life
+across invocations: an append-only JSON-lines file (default
+``benchmarks/.cache/cases.jsonl``) keyed by a content hash of everything the
+result depends on:
+
+* the full :class:`~repro.config.GPUConfig` (as a nested dict),
+* kernel names, QoS flags and goal fractions, and the policy name,
+* measured cycles and warm-up cycles,
+* a **code salt**: a digest of the source of every package that affects
+  simulation outcomes (`sim`, `qos`, `kernels`, `baselines`, `sharing`,
+  `power`, `config`, and the runner itself).  Editing any of those files
+  invalidates the whole cache automatically; docs/harness-report edits do
+  not.
+
+Opt-out / relocation via the ``REPRO_CACHE`` environment variable: ``0`` /
+``off`` disables persistence entirely, any other value is used as the cache
+directory.  ``repro-gpu-qos cache stats|clear`` inspects and resets the
+store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+from typing import Dict, Optional, Sequence
+
+from repro.config import GPUConfig
+from repro.harness.runner import CaseRecord, KernelOutcome
+
+ENV_CACHE = "REPRO_CACHE"
+
+#: Package directories (relative to ``src/repro``) whose source participates
+#: in the code salt: anything that can change a simulation outcome.
+_SALTED = ("config.py", "isa", "kernels", "sim", "qos", "baselines",
+           "sharing", "power", "harness/runner.py")
+
+_code_salt_memo: Optional[str] = None
+
+
+def code_salt() -> str:
+    """Digest of the simulation-affecting source tree (memoised)."""
+    global _code_salt_memo
+    if _code_salt_memo is None:
+        package_root = pathlib.Path(__file__).resolve().parents[1]
+        digest = hashlib.sha256()
+        for entry in _SALTED:
+            path = package_root / entry
+            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+            for source in files:
+                digest.update(str(source.relative_to(package_root)).encode())
+                digest.update(source.read_bytes())
+        _code_salt_memo = digest.hexdigest()[:16]
+    return _code_salt_memo
+
+
+def cache_disabled_by_env() -> bool:
+    return os.environ.get(ENV_CACHE, "").strip().lower() in ("0", "off", "no",
+                                                             "false")
+
+
+def default_cache_dir() -> pathlib.Path:
+    """``$REPRO_CACHE`` if it names a directory, else ``benchmarks/.cache``
+    next to the source tree (falling back to the user cache dir when the
+    package is installed outside its repository)."""
+    env = os.environ.get(ENV_CACHE, "").strip()
+    if env and not cache_disabled_by_env():
+        return pathlib.Path(env)
+    repo_root = pathlib.Path(__file__).resolve().parents[3]
+    if (repo_root / "benchmarks").is_dir():
+        return repo_root / "benchmarks" / ".cache"
+    return pathlib.Path.home() / ".cache" / "repro-gpu-qos"
+
+
+# ------------------------------------------------------------------- keying
+
+def _digest(payload: dict) -> str:
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def _machine_payload(gpu: GPUConfig, cycles: int, warmup: int) -> dict:
+    return {"gpu": dataclasses.asdict(gpu), "cycles": cycles,
+            "warmup": warmup, "salt": code_salt()}
+
+
+def isolated_key(gpu: GPUConfig, name: str, cycles: int, warmup: int) -> str:
+    payload = _machine_payload(gpu, cycles, warmup)
+    payload["kind"] = "isolated"
+    payload["kernel"] = name
+    return _digest(payload)
+
+
+def case_key(gpu: GPUConfig, names: Sequence[str],
+             qos_flags: Sequence[bool],
+             goal_fractions: Sequence[Optional[float]],
+             policy: str, cycles: int, warmup: int) -> str:
+    payload = _machine_payload(gpu, cycles, warmup)
+    payload["kind"] = "case"
+    payload["kernels"] = list(names)
+    payload["qos"] = list(qos_flags)
+    payload["goals"] = list(goal_fractions)
+    payload["policy"] = policy
+    return _digest(payload)
+
+
+# ------------------------------------------------------------ serialisation
+
+def record_to_dict(record: CaseRecord) -> dict:
+    return dataclasses.asdict(record)
+
+
+def record_from_dict(data: dict) -> CaseRecord:
+    kernels = tuple(KernelOutcome(**outcome) for outcome in data["kernels"])
+    rest = {key: value for key, value in data.items() if key != "kernels"}
+    return CaseRecord(kernels=kernels, **rest)
+
+
+# -------------------------------------------------------------------- store
+
+class CaseCache:
+    """Append-only JSON-lines store; last write wins on key collisions."""
+
+    def __init__(self, directory: Optional[os.PathLike] = None):
+        self.directory = pathlib.Path(directory) if directory else default_cache_dir()
+        self.path = self.directory / "cases.jsonl"
+        self._entries: Dict[str, dict] = {}
+        self.hits = 0
+        self.misses = 0
+        self._load()
+
+    def _load(self) -> None:
+        if not self.path.exists():
+            return
+        with self.path.open() as stream:
+            for line in stream:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                    self._entries[entry["key"]] = entry
+                except (ValueError, KeyError):
+                    continue  # torn write from an interrupted run
+
+    def _append(self, key: str, kind: str, value) -> None:
+        entry = {"key": key, "kind": kind, "value": value}
+        self._entries[key] = entry
+        self.directory.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as stream:
+            stream.write(json.dumps(entry, sort_keys=True) + "\n")
+
+    # ------------------------------------------------------------- records
+
+    def get_case(self, key: str) -> Optional[CaseRecord]:
+        entry = self._entries.get(key)
+        if entry is None or entry.get("kind") != "case":
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record_from_dict(entry["value"])
+
+    def put_case(self, key: str, record: CaseRecord) -> None:
+        self._append(key, "case", record_to_dict(record))
+
+    def get_isolated(self, key: str) -> Optional[float]:
+        entry = self._entries.get(key)
+        if entry is None or entry.get("kind") != "isolated":
+            self.misses += 1
+            return None
+        self.hits += 1
+        return float(entry["value"])
+
+    def put_isolated(self, key: str, value: float) -> None:
+        self._append(key, "isolated", value)
+
+    # ------------------------------------------------------------ plumbing
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def stats(self) -> dict:
+        kinds: Dict[str, int] = {}
+        for entry in self._entries.values():
+            kinds[entry["kind"]] = kinds.get(entry["kind"], 0) + 1
+        return {
+            "path": str(self.path),
+            "entries": len(self._entries),
+            "cases": kinds.get("case", 0),
+            "isolated": kinds.get("isolated", 0),
+            "size_bytes": self.path.stat().st_size if self.path.exists() else 0,
+            "hits": self.hits,
+            "misses": self.misses,
+            "code_salt": code_salt(),
+        }
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = len(self._entries)
+        self._entries.clear()
+        if self.path.exists():
+            self.path.unlink()
+        return removed
+
+
+def open_default_cache() -> Optional[CaseCache]:
+    """The shared store, or None when ``REPRO_CACHE`` disables persistence."""
+    if cache_disabled_by_env():
+        return None
+    return CaseCache()

@@ -23,9 +23,11 @@ from repro.harness.metrics import (
     qos_reach,
     MISS_BUCKETS,
 )
+from repro.harness.cache import open_default_cache
+from repro.harness.parallel import ParallelCaseRunner
 from repro.harness.presets import ExperimentPreset, FAST_PRESET
 from repro.harness.report import format_table, series_rows
-from repro.harness.runner import CaseRecord, CaseRunner
+from repro.harness.runner import CaseRecord, CaseRunner, CaseSpec
 
 PAIR_POLICIES = ("spart", "naive", "elastic", "rollover")
 
@@ -44,32 +46,60 @@ class ExperimentResult:
 
 
 class ExperimentSuite:
-    """Shares simulation runs across the figures of one preset."""
+    """Shares simulation runs across the figures of one preset.
 
-    def __init__(self, preset: ExperimentPreset = FAST_PRESET):
+    Each figure driver submits its *full* case list up front through
+    :meth:`CaseRunner.sweep`, so independent cases fan out over the parallel
+    runner's process pool and the per-figure loops below are pure memo
+    slicing.  ``workers`` follows :func:`repro.harness.parallel.resolve_workers`
+    (``REPRO_WORKERS`` env, else cores-1); ``cache`` defaults to the shared
+    persistent store unless ``REPRO_CACHE=0`` disables it.
+    """
+
+    def __init__(self, preset: ExperimentPreset = FAST_PRESET,
+                 workers: Optional[int] = None, cache="default"):
         self.preset = preset
+        self.workers = workers
+        self.cache = open_default_cache() if cache == "default" else cache
         self._runners: Dict[Tuple[GPUConfig, int], CaseRunner] = {}
 
     def runner(self, gpu: Optional[GPUConfig] = None,
                cycles: Optional[int] = None) -> CaseRunner:
         key = (gpu or self.preset.gpu, cycles or self.preset.cycles)
         if key not in self._runners:
-            self._runners[key] = CaseRunner(*key)
+            self._runners[key] = ParallelCaseRunner(
+                *key, cache=self.cache, workers=self.workers)
         return self._runners[key]
 
     # ----------------------------------------------------------- sweeps
 
     def pair_cases(self, policy: str, goal: float,
                    gpu: Optional[GPUConfig] = None) -> List[CaseRecord]:
-        runner = self.runner(gpu)
-        return [runner.run_pair(qos, nonqos, goal, policy)
-                for qos, nonqos in self.preset.pairs]
+        return self.runner(gpu).sweep(
+            [CaseSpec.pair(qos, nonqos, goal, policy)
+             for qos, nonqos in self.preset.pairs])
 
     def trio_cases(self, policy: str, goal: float,
                    qos_count: int) -> List[CaseRecord]:
-        runner = self.runner()
-        return [runner.run_trio(trio, qos_count, goal, policy)
-                for trio in self.preset.trios]
+        return self.runner().sweep(
+            [CaseSpec.trio(trio, qos_count, goal, policy)
+             for trio in self.preset.trios])
+
+    def _sweep_pairs(self, policies: Sequence[str], goals: Sequence[float],
+                     gpu: Optional[GPUConfig] = None) -> None:
+        """Submit a whole figure's pair grid in one parallel batch."""
+        self.runner(gpu).sweep(
+            [CaseSpec.pair(qos, nonqos, goal, policy)
+             for policy in policies for goal in goals
+             for qos, nonqos in self.preset.pairs])
+
+    def _sweep_trios(self, policies: Sequence[str], goals: Sequence[float],
+                     qos_count: int) -> None:
+        """Submit a whole figure's trio grid in one parallel batch."""
+        self.runner().sweep(
+            [CaseSpec.trio(trio, qos_count, goal, policy)
+             for policy in policies for goal in goals
+             for trio in self.preset.trios])
 
     def _goal_label(self, goal: float, qos_count: int = 1) -> str:
         percent = f"{int(round(goal * 100))}%"
@@ -79,6 +109,7 @@ class ExperimentSuite:
 
     def fig05(self) -> ExperimentResult:
         """Figure 5: miss-distance histogram for Naïve + History adjustment."""
+        self._sweep_pairs(("history",), self.preset.pair_goals)
         cases: List[CaseRecord] = []
         for goal in self.preset.pair_goals:
             cases.extend(self.pair_cases("history", goal))
@@ -99,6 +130,7 @@ class ExperimentSuite:
 
     def fig06a(self) -> ExperimentResult:
         """Figure 6a: QoSreach vs goal for two-kernel pairs, four schemes."""
+        self._sweep_pairs(PAIR_POLICIES, self.preset.pair_goals)
         series = {policy: {} for policy in PAIR_POLICIES}
         for policy in PAIR_POLICIES:
             for goal in self.preset.pair_goals:
@@ -118,6 +150,7 @@ class ExperimentSuite:
     def _fig06_trio(self, qos_count: int, goals: Sequence[float],
                     figure: str) -> ExperimentResult:
         policies = ("spart", "rollover")
+        self._sweep_trios(policies, goals, qos_count)
         series = {policy: {} for policy in policies}
         for policy in policies:
             for goal in goals:
@@ -150,6 +183,7 @@ class ExperimentSuite:
             policy: {} for policy in policies}
         per_class: Dict[str, Dict[str, List[CaseRecord]]] = {
             policy: {"C+C": [], "C+M": [], "M+M": []} for policy in policies}
+        self._sweep_pairs(policies, self.preset.pair_goals)
         for policy in policies:
             for goal in self.preset.pair_goals:
                 for case in self.pair_cases(policy, goal):
@@ -182,6 +216,10 @@ class ExperimentSuite:
     def _throughput_figure(self, figure: str, title: str, policies,
                            goals: Sequence[float], qos_count: int,
                            trio: bool) -> ExperimentResult:
+        if trio:
+            self._sweep_trios(policies, goals, qos_count)
+        else:
+            self._sweep_pairs(policies, goals)
         series = {policy: {} for policy in policies}
         for policy in policies:
             for goal in goals:
@@ -218,6 +256,7 @@ class ExperimentSuite:
     def fig09(self) -> ExperimentResult:
         """Figure 9: QoS-kernel throughput normalised to its goal."""
         policies = ("spart", "rollover")
+        self._sweep_pairs(policies, self.preset.pair_goals)
         series = {policy: {} for policy in policies}
         for policy in policies:
             for goal in self.preset.pair_goals:
@@ -238,6 +277,7 @@ class ExperimentSuite:
     def fig10(self) -> ExperimentResult:
         """Figure 10: QoSreach, Rollover vs Rollover-Time."""
         policies = ("rollover", "rollover-time")
+        self._sweep_pairs(policies, self.preset.pair_goals)
         series = {policy: {} for policy in policies}
         for policy in policies:
             for goal in self.preset.pair_goals:
@@ -263,6 +303,7 @@ class ExperimentSuite:
                         metric: str) -> ExperimentResult:
         policies = ("spart", "rollover")
         gpu = self.preset.gpu_many_sm
+        self._sweep_pairs(policies, self.preset.pair_goals, gpu=gpu)
         series = {policy: {} for policy in policies}
         for policy in policies:
             for goal in self.preset.pair_goals:
@@ -296,6 +337,7 @@ class ExperimentSuite:
     def fig14(self) -> ExperimentResult:
         """Figure 14: inst/Watt improvement of Rollover over Spart (pairs)."""
         series = {"improvement": {}}
+        self._sweep_pairs(("rollover", "spart"), self.preset.pair_goals)
         for goal in self.preset.pair_goals:
             rollover = mean_instructions_per_watt(
                 self.pair_cases("rollover", goal))
@@ -383,6 +425,7 @@ class ExperimentSuite:
     def sec48_history(self) -> ExperimentResult:
         """Section 4.8: effect of history-based quota adjustment."""
         series = {"naive": {}, "history": {}}
+        self._sweep_pairs(("naive", "history"), self.preset.pair_goals)
         for policy in series:
             for goal in self.preset.pair_goals:
                 series[policy][self._goal_label(goal)] = qos_reach(
@@ -405,10 +448,11 @@ class ExperimentSuite:
         mm_pairs = [(qos, nonqos) for qos, nonqos in self.preset.pairs
                     if intensity_class(qos) == "M" and intensity_class(nonqos) == "M"]
         runner = self.runner()
-        with_static = [runner.run_pair(q, n, goal, "rollover")
-                       for q, n in mm_pairs]
-        without = [runner.run_pair(q, n, goal, "rollover-nostatic")
-                   for q, n in mm_pairs]
+        with_static = runner.sweep([CaseSpec.pair(q, n, goal, "rollover")
+                                    for q, n in mm_pairs])
+        without = runner.sweep(
+            [CaseSpec.pair(q, n, goal, "rollover-nostatic")
+             for q, n in mm_pairs])
         tput_with = mean_nonqos_throughput(with_static, met_only=False)
         tput_without = mean_nonqos_throughput(without, met_only=False)
         gain = improvement(tput_with, tput_without)
@@ -437,8 +481,9 @@ class ExperimentSuite:
         for scale in (0.5, 1.0, 2.0):
             length = max(100, int(base * scale))
             gpu = self.preset.gpu.scaled(epoch_length=length)
-            cases = [self.runner(gpu).run_pair(q, n, goal, "rollover")
-                     for q, n in self.preset.pairs]
+            cases = self.runner(gpu).sweep(
+                [CaseSpec.pair(q, n, goal, "rollover")
+                 for q, n in self.preset.pairs])
             series["rollover"][f"{length} cycles"] = qos_reach(cases)
         labels = list(series["rollover"])
         rows = series_rows(labels, series, ("rollover",))
@@ -460,8 +505,9 @@ class ExperimentSuite:
         series = {}
         for policy_name in ("gto", "lrr"):
             gpu = self.preset.gpu.scaled(scheduler_policy=policy_name)
-            cases = [self.runner(gpu).run_pair(q, n, goal, "rollover")
-                     for q, n in self.preset.pairs]
+            cases = self.runner(gpu).sweep(
+                [CaseSpec.pair(q, n, goal, "rollover")
+                 for q, n in self.preset.pairs])
             series[policy_name] = {"QoSreach": qos_reach(cases)}
         rows = series_rows(["QoSreach"], series, ("gto", "lrr"))
         return ExperimentResult(
@@ -480,6 +526,7 @@ class ExperimentSuite:
         co-runners (Section 3.1), so per-kernel goals are hit only by luck.
         """
         series = {"smk": {}, "rollover": {}}
+        self._sweep_pairs(("smk", "rollover"), self.preset.pair_goals)
         for policy in series:
             for goal in self.preset.pair_goals:
                 series[policy][self._goal_label(goal)] = qos_reach(

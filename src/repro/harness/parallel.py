@@ -1,0 +1,165 @@
+"""Parallel sweep execution over a process pool.
+
+A figure sweep is 60-900 *independent* co-run cases; the serial
+:class:`~repro.harness.runner.CaseRunner` executes them one after another in
+one interpreter.  :class:`ParallelCaseRunner` keeps the exact same results
+contract — records keyed and ordered by case key, never by completion order
+— while fanning the missing work out over a
+:class:`concurrent.futures.ProcessPoolExecutor`:
+
+1. the **isolated IPCs** every normalisation divides by are computed first,
+   as their own parallel batch, and seeded into each case worker so co-run
+   workers never duplicate an isolated run;
+2. the **missing co-run cases** (after consulting the in-process memo and
+   the persistent cache) run as a second batch, each worker being a throwaway
+   serial ``CaseRunner`` — which is what guarantees parallel records are
+   bit-identical to serial ones (the simulator itself is deterministic);
+3. results land in the memo and persistent cache, and the sweep returns them
+   in input order.
+
+Worker count comes from (in priority order) the constructor, the
+``REPRO_WORKERS`` environment variable, and ``os.cpu_count() - 1``.  With
+one worker — or when the platform refuses to give us a process pool — the
+sweep silently degrades to the serial path.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.harness.runner import CaseRecord, CaseRunner, CaseSpec
+
+ENV_WORKERS = "REPRO_WORKERS"
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument > ``REPRO_WORKERS`` > ``cpu_count() - 1`` (min 1)."""
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS, "").strip()
+        if env:
+            workers = int(env)
+        else:
+            workers = (os.cpu_count() or 2) - 1
+    return max(1, workers)
+
+
+# ----------------------------------------------------------------- workers
+# Module-level so they pickle; each builds a throwaway serial CaseRunner,
+# which is exactly what makes parallel results identical to serial ones.
+
+def _isolated_task(args: Tuple[GPUConfig, int, int, str]) -> float:
+    gpu, cycles, warmup, name = args
+    return CaseRunner(gpu, cycles, warmup).isolated_ipc(name)
+
+
+def _case_task(args: Tuple[GPUConfig, int, int, Dict[str, float], CaseSpec]
+               ) -> CaseRecord:
+    gpu, cycles, warmup, isolated, spec = args
+    runner = CaseRunner(gpu, cycles, warmup)
+    runner._isolated.update(isolated)
+    return runner.run_case(spec.names, spec.qos_flags, spec.goal_fractions,
+                           spec.policy)
+
+
+class ParallelCaseRunner(CaseRunner):
+    """A :class:`CaseRunner` whose :meth:`sweep` fans out over processes."""
+
+    def __init__(self, gpu: GPUConfig, cycles: int,
+                 warmup_cycles: Optional[int] = None, cache=None,
+                 workers: Optional[int] = None):
+        super().__init__(gpu, cycles, warmup_cycles, cache=cache)
+        self.workers = resolve_workers(workers)
+
+    # ----------------------------------------------------------- fan-out
+
+    def _map(self, function, argument_list: list) -> list:
+        """Run a batch through the pool, preserving input order; degrade to
+        the serial path when parallelism is pointless or unavailable."""
+        if self.workers <= 1 or len(argument_list) <= 1:
+            return [function(args) for args in argument_list]
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            max_workers = min(self.workers, len(argument_list))
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                return list(pool.map(function, argument_list, chunksize=1))
+        except (OSError, PermissionError, ImportError):
+            # Sandboxes without process spawning / semaphores: stay correct.
+            return [function(args) for args in argument_list]
+
+    def sweep(self, cases: Sequence[CaseSpec]) -> List[CaseRecord]:
+        specs = list(cases)
+        self._prefetch_isolated(specs)
+        missing: Dict[tuple, CaseSpec] = {}
+        for spec in specs:
+            key = (spec.names, spec.qos_flags, spec.goal_fractions,
+                   spec.policy)
+            if key not in self._cases and key not in missing:
+                if not self._load_cached_case(key, spec):
+                    missing[key] = spec
+        if missing:
+            argument_list = [(self.gpu, self.cycles, self.warmup_cycles,
+                              dict(self._isolated), spec)
+                             for spec in missing.values()]
+            records = self._map(_case_task, argument_list)
+            for (key, spec), record in zip(missing.items(), records):
+                self._cases[key] = record
+                self._store_case(spec, record)
+        # Every case is now memoised; assemble in input order.
+        return [self.run_case(spec.names, spec.qos_flags,
+                              spec.goal_fractions, spec.policy)
+                for spec in specs]
+
+    # ------------------------------------------------------------ helpers
+
+    def _prefetch_isolated(self, specs: Sequence[CaseSpec]) -> None:
+        """Batch-compute every isolated IPC the sweep will need (the
+        denominators of all outcome normalisations), in parallel."""
+        needed: List[str] = []
+        for spec in specs:
+            for name in spec.names:
+                if name not in self._isolated and name not in needed:
+                    needed.append(name)
+        if self.cache is not None:
+            from repro.harness.cache import isolated_key
+            still_needed = []
+            for name in needed:
+                cached = self.cache.get_isolated(isolated_key(
+                    self.gpu, name, self.cycles, self.warmup_cycles))
+                if cached is not None:
+                    self._isolated[name] = cached
+                else:
+                    still_needed.append(name)
+            needed = still_needed
+        if not needed:
+            return
+        argument_list = [(self.gpu, self.cycles, self.warmup_cycles, name)
+                         for name in needed]
+        for name, ipc in zip(needed, self._map(_isolated_task, argument_list)):
+            self._isolated[name] = ipc
+            if self.cache is not None:
+                from repro.harness.cache import isolated_key
+                self.cache.put_isolated(
+                    isolated_key(self.gpu, name, self.cycles,
+                                 self.warmup_cycles), ipc)
+
+    def _load_cached_case(self, key: tuple, spec: CaseSpec) -> bool:
+        if self.cache is None:
+            return False
+        from repro.harness.cache import case_key
+        cached = self.cache.get_case(case_key(
+            self.gpu, spec.names, spec.qos_flags, spec.goal_fractions,
+            spec.policy, self.cycles, self.warmup_cycles))
+        if cached is None:
+            return False
+        self._cases[key] = cached
+        return True
+
+    def _store_case(self, spec: CaseSpec, record: CaseRecord) -> None:
+        if self.cache is None:
+            return
+        from repro.harness.cache import case_key
+        self.cache.put_case(case_key(
+            self.gpu, spec.names, spec.qos_flags, spec.goal_fractions,
+            spec.policy, self.cycles, self.warmup_cycles), record)

@@ -4,12 +4,21 @@ Every figure consumes the same underlying (pair/trio x goal x scheme) runs,
 so :class:`CaseRunner` memoises by full case key: Figure 6, 8, 9 and 14 all
 reuse one sweep.  Isolated IPCs (the denominators of every normalisation in
 the paper) are memoised per (kernel, machine, cycles).
+
+Two layers extend the in-process memo:
+
+* an optional persistent store (:class:`repro.harness.cache.CaseCache`)
+  consulted on memo misses and fed on every fresh simulation, so sweeps
+  survive across invocations;
+* :class:`repro.harness.parallel.ParallelCaseRunner`, which overrides
+  :meth:`CaseRunner.sweep` to fan independent cases out over a process
+  pool.  :class:`CaseSpec` is the declarative unit both layers share.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import SpartPolicy
 from repro.config import GPUConfig
@@ -32,6 +41,34 @@ def make_policy(name: str) -> SharingPolicy:
     if name == "rollover-nostatic":
         return QoSPolicy("rollover", static_adjustment=False)
     return QoSPolicy(name)
+
+
+@dataclass(frozen=True)
+class CaseSpec:
+    """One co-run case, declaratively: what :meth:`CaseRunner.run_case` takes.
+
+    Sweeps are lists of these so they can be submitted up front (and fanned
+    out by the parallel runner) instead of looped over call-by-call.
+    """
+
+    names: Tuple[str, ...]
+    qos_flags: Tuple[bool, ...]
+    goal_fractions: Tuple[Optional[float], ...]
+    policy: str
+
+    @classmethod
+    def pair(cls, qos: str, nonqos: str, goal: float,
+             policy: str) -> "CaseSpec":
+        return cls((qos, nonqos), (True, False), (goal, None), policy)
+
+    @classmethod
+    def trio(cls, names: Sequence[str], qos_count: int, goal: float,
+             policy: str) -> "CaseSpec":
+        if not 1 <= qos_count < len(names):
+            raise ValueError("qos_count must leave at least one non-QoS kernel")
+        flags = tuple(i < qos_count for i in range(len(names)))
+        fractions = tuple(goal if flag else None for flag in flags)
+        return cls(tuple(names), flags, fractions, policy)
 
 
 @dataclass(frozen=True)
@@ -112,12 +149,15 @@ class CaseRunner:
     """
 
     def __init__(self, gpu: GPUConfig, cycles: int,
-                 warmup_cycles: Optional[int] = None):
+                 warmup_cycles: Optional[int] = None, cache=None):
         self.gpu = gpu
         self.cycles = cycles
         if warmup_cycles is None:
             warmup_cycles = 2 * gpu.epoch_length
         self.warmup_cycles = warmup_cycles
+        #: Optional :class:`repro.harness.cache.CaseCache`; consulted on memo
+        #: misses, fed on every fresh simulation.
+        self.cache = cache
         self._isolated: Dict[str, float] = {}
         self._cases: Dict[tuple, CaseRecord] = {}
         self._power = PowerModel(gpu)
@@ -127,12 +167,26 @@ class CaseRunner:
     def isolated_ipc(self, name: str) -> float:
         """IPC of a kernel running alone on this machine (memoised)."""
         if name not in self._isolated:
-            sim = GPUSimulator(self.gpu, [LaunchedKernel(get_kernel(name))])
-            sim.run(self.warmup_cycles)
-            sim.mark_measurement_start()
-            sim.run(self.cycles)
-            self._isolated[name] = sim.result().kernels[0].ipc
+            cache_key = None
+            if self.cache is not None:
+                from repro.harness.cache import isolated_key
+                cache_key = isolated_key(self.gpu, name, self.cycles,
+                                         self.warmup_cycles)
+                cached = self.cache.get_isolated(cache_key)
+                if cached is not None:
+                    self._isolated[name] = cached
+                    return cached
+            self._isolated[name] = self._simulate_isolated(name)
+            if cache_key is not None:
+                self.cache.put_isolated(cache_key, self._isolated[name])
         return self._isolated[name]
+
+    def _simulate_isolated(self, name: str) -> float:
+        sim = GPUSimulator(self.gpu, [LaunchedKernel(get_kernel(name))])
+        sim.run(self.warmup_cycles)
+        sim.mark_measurement_start()
+        sim.run(self.cycles)
+        return sim.result().kernels[0].ipc
 
     # --------------------------------------------------------------- co-run
 
@@ -148,6 +202,15 @@ class CaseRunner:
                tuple(goal_fractions), policy)
         if key in self._cases:
             return self._cases[key]
+        cache_key = None
+        if self.cache is not None:
+            from repro.harness.cache import case_key
+            cache_key = case_key(self.gpu, names, qos_flags, goal_fractions,
+                                 policy, self.cycles, self.warmup_cycles)
+            cached = self.cache.get_case(cache_key)
+            if cached is not None:
+                self._cases[key] = cached
+                return cached
 
         launches = []
         goals = []
@@ -190,7 +253,22 @@ class CaseRunner:
             instructions_per_watt=self._power.instructions_per_watt(result),
         )
         self._cases[key] = record
+        if cache_key is not None:
+            self.cache.put_case(cache_key, record)
         return record
+
+    # ---------------------------------------------------------------- sweeps
+
+    def sweep(self, cases: Sequence[CaseSpec]) -> List[CaseRecord]:
+        """Run a batch of cases, returning records in input order.
+
+        The serial implementation just loops; the parallel runner overrides
+        this to fan independent cases out over a process pool.  Both return
+        identical records for identical inputs.
+        """
+        return [self.run_case(spec.names, spec.qos_flags,
+                              spec.goal_fractions, spec.policy)
+                for spec in cases]
 
     # ---------------------------------------------------------- conveniences
 

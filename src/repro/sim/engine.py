@@ -138,6 +138,7 @@ class GPUSimulator:
         end_cycle = self.cycle + num_cycles
         sms = self.sms
         preemption = self.preemption
+        sample_interval = self.sample_interval
         while self.cycle < end_cycle:
             cycle = self.cycle
             next_done = preemption.next_completion
@@ -149,7 +150,12 @@ class GPUSimulator:
                 self._begin_epoch(cycle)
             sample = cycle >= self.next_sample_at
             if sample:
-                self.next_sample_at = cycle + self.sample_interval
+                # Advance along the fixed epoch-anchored grid (never from the
+                # current cycle): idle skips may overshoot several sample
+                # points, and re-basing on `cycle` would drift the grid so
+                # epochs stop seeing `idle_warp_samples` samples each.
+                missed = (cycle - self.next_sample_at) // sample_interval
+                self.next_sample_at += (missed + 1) * sample_interval
             issued = 0
             for sm in sms:
                 issued += sm.step(cycle, sample)
@@ -160,6 +166,12 @@ class GPUSimulator:
     def _begin_epoch(self, cycle: int) -> None:
         self.epoch_index += 1
         self.next_epoch_at = cycle + self.config.epoch_length
+        # Re-anchor the sampling grid to the epoch boundary so every epoch
+        # observes the same number of idle-warp samples even when a policy
+        # pulls the boundary forward (Elastic Epoch).  The boundary cycle
+        # itself is a grid point: the run loop samples it right after the
+        # epoch's counters reset.
+        self.next_sample_at = cycle
         self.policy.on_epoch_start(self, cycle, self.epoch_index)
         for sm in self.sms:
             sm.reset_epoch_sampling()
@@ -173,9 +185,9 @@ class GPUSimulator:
         if self.next_sample_at < wake:
             wake = self.next_sample_at
         for sm in self.sms:
-            for scheduler in sm.schedulers:
-                if scheduler.sleep_until < wake:
-                    wake = scheduler.sleep_until
+            hint = sm.wake_hint()
+            if hint < wake:
+                wake = hint
         if wake > self.cycle:
             self.cycle = min(wake, end_cycle)
 
@@ -188,19 +200,23 @@ class GPUSimulator:
             raise ValueError("TB target must be non-negative")
         self.tb_targets[sm_id][kernel_idx] = target
         sm = self.sms[sm_id]
-        excess = self._live_tbs(sm, kernel_idx) - target
+        excess = sm.live_tb_count[kernel_idx] - target
         while excess > 0:
             victim = sm.pick_eviction_victim(kernel_idx)
             if victim is None:
                 break
-            self.preemption.begin_eviction(sm, victim, self.cycle)
+            self.evict_tb(sm, victim)
             excess -= 1
         if excess < 0 and self._configured:
             self._dispatch_sm(sm, self.cycle)
 
+    def evict_tb(self, sm: SM, tb) -> int:
+        """Begin a TB's partial context switch, keeping live counts exact."""
+        sm.note_eviction_begin(tb)
+        return self.preemption.begin_eviction(sm, tb, self.cycle)
+
     def _live_tbs(self, sm: SM, kernel_idx: int) -> int:
-        return sum(1 for tb in sm.tbs
-                   if tb.kernel_idx == kernel_idx and not tb.evicting)
+        return sm.live_tb_count[kernel_idx]
 
     def _dispatch_sm(self, sm: SM, cycle: int) -> None:
         """Deficit-first fill: the kernel furthest below its target (as a
@@ -208,6 +224,9 @@ class GPUSimulator:
         degrade into a balanced allocation and a kernel that once hogged the
         SM cannot monopolise refills after TB turnover."""
         targets = self.tb_targets[sm.sm_id]
+        live_counts = sm.live_tb_count
+        resources = sm.resources
+        kernels = self.kernels
         while True:
             best_idx = -1
             best_ratio = 1.0
@@ -215,10 +234,10 @@ class GPUSimulator:
                 target = targets[kernel_idx]
                 if target <= 0:
                     continue
-                live = self._live_tbs(sm, kernel_idx)
+                live = live_counts[kernel_idx]
                 if live >= target:
                     continue
-                if not sm.resources.can_admit(self.kernels[kernel_idx].spec):
+                if not resources.can_admit(kernels[kernel_idx].spec):
                     continue
                 ratio = live / target
                 if ratio < best_ratio or best_idx < 0:
@@ -232,7 +251,7 @@ class GPUSimulator:
 
     def total_tbs(self, kernel_idx: int) -> int:
         """Live (non-evicting) TBs of a kernel across the whole GPU."""
-        return sum(self._live_tbs(sm, kernel_idx) for sm in self.sms)
+        return sum(sm.live_tb_count[kernel_idx] for sm in self.sms)
 
     # -------------------------------------------------------------- callbacks
 

@@ -17,6 +17,11 @@ Schedulers keep a ``sleep_until`` cycle: when a scan finds nothing ready the
 earliest wake-up among eligible warps is cached so stalled schedulers cost
 one comparison per cycle.  Any event that can create readiness out of band —
 TB dispatch, barrier release, quota refresh, unfreeze — must call ``wake()``.
+
+Every write to ``sleep_until`` invokes the optional ``notify`` callback so
+the owning SM can maintain a cached minimum over its schedulers (the
+engine's idle-skip reads that cache instead of rescanning every scheduler
+of every SM each idle cycle).
 """
 
 from __future__ import annotations
@@ -31,12 +36,13 @@ _NEVER = 1 << 62
 class GTOScheduler:
     """Greedy-then-oldest warp scheduler."""
 
-    __slots__ = ("warps", "last", "sleep_until")
+    __slots__ = ("warps", "last", "sleep_until", "notify")
 
-    def __init__(self) -> None:
+    def __init__(self, notify=None) -> None:
         self.warps: List[Warp] = []
         self.last: Optional[Warp] = None
         self.sleep_until = 0
+        self.notify = notify
 
     def add_warp(self, warp: Warp) -> None:
         self.warps.append(warp)
@@ -49,7 +55,15 @@ class GTOScheduler:
         self.wake()
 
     def wake(self) -> None:
-        self.sleep_until = 0
+        if self.sleep_until:
+            self.sleep_until = 0
+            if self.notify is not None:
+                self.notify()
+
+    def _sleep(self, until: int) -> None:
+        self.sleep_until = until
+        if self.notify is not None:
+            self.notify()
 
     def select(self, cycle: int, quota_ok) -> Optional[Warp]:
         """Pick the warp to issue this cycle, or None."""
@@ -68,7 +82,7 @@ class GTOScheduler:
                 return warp
             if warp.ready_at < earliest:
                 earliest = warp.ready_at
-        self.sleep_until = earliest
+        self._sleep(earliest)
         return None
 
     def ready_count(self, cycle: int, quota_ok) -> int:
@@ -85,8 +99,8 @@ class LRRScheduler(GTOScheduler):
 
     __slots__ = ("_next_index",)
 
-    def __init__(self) -> None:
-        super().__init__()
+    def __init__(self, notify=None) -> None:
+        super().__init__(notify)
         self._next_index = 0
 
     def select(self, cycle: int, quota_ok) -> Optional[Warp]:
@@ -95,7 +109,7 @@ class LRRScheduler(GTOScheduler):
         warps = self.warps
         count = len(warps)
         if count == 0:
-            self.sleep_until = _NEVER
+            self._sleep(_NEVER)
             return None
         earliest = _NEVER
         start = self._next_index % count
@@ -109,14 +123,14 @@ class LRRScheduler(GTOScheduler):
                 return warp
             if warp.ready_at < earliest:
                 earliest = warp.ready_at
-        self.sleep_until = earliest
+        self._sleep(earliest)
         return None
 
 
-def make_scheduler(policy: str):
+def make_scheduler(policy: str, notify=None):
     """Factory for the configured issue policy."""
     if policy == "gto":
-        return GTOScheduler()
+        return GTOScheduler(notify)
     if policy == "lrr":
-        return LRRScheduler()
+        return LRRScheduler(notify)
     raise ValueError(f"unknown scheduler policy {policy!r}")

@@ -38,11 +38,20 @@ class SM:
         self.memory = memory
         self.kernel_stats = kernel_stats
         self.resources = SMResources(config.sm)
-        self.schedulers = [make_scheduler(config.scheduler_policy)
+        self.schedulers = [make_scheduler(config.scheduler_policy,
+                                          self._sleep_changed)
                            for _ in range(config.sm.warp_schedulers)]
         self.tbs: List[ThreadBlock] = []
         num_kernels = len(runtimes)
         self.tb_count = [0] * num_kernels
+        #: Non-evicting resident TBs per kernel, maintained incrementally at
+        #: dispatch / eviction-begin / removal so residency queries are O(1)
+        #: instead of a scan over ``tbs``.
+        self.live_tb_count = [0] * num_kernels
+        # Cached min over scheduler ``sleep_until``s for the engine's
+        # idle-skip; invalidated by the schedulers' notify callback.
+        self._wake_min = 0
+        self._wake_dirty = True
         # Enhanced Warp Scheduler state.  With quotas disabled the
         # all-True eligibility list makes this SM behave like stock hardware.
         self.quota_enabled = False
@@ -138,8 +147,20 @@ class SM:
     def _wake_schedulers(self) -> None:
         for scheduler in self.schedulers:
             scheduler.sleep_until = 0
+        self._wake_min = 0
+        self._wake_dirty = False
 
     wake_all = _wake_schedulers
+
+    def _sleep_changed(self) -> None:
+        self._wake_dirty = True
+
+    def wake_hint(self) -> int:
+        """Earliest cycle at which any of this SM's schedulers may issue."""
+        if self._wake_dirty:
+            self._wake_min = min(s.sleep_until for s in self.schedulers)
+            self._wake_dirty = False
+        return self._wake_min
 
     # ------------------------------------------------------- quota interface
 
@@ -179,6 +200,7 @@ class SM:
             scheduler.add_warp(warp)
         self.tbs.append(tb)
         self.tb_count[kernel_idx] += 1
+        self.live_tb_count[kernel_idx] += 1
         return tb
 
     def pick_eviction_victim(self, kernel_idx: int) -> Optional[ThreadBlock]:
@@ -189,6 +211,11 @@ class SM:
                 return tb
         return None
 
+    def note_eviction_begin(self, tb: ThreadBlock) -> None:
+        """Account a TB leaving the live set as its eviction starts (the TB
+        stays resident, holding resources, until the context save drains)."""
+        self.live_tb_count[tb.kernel_idx] -= 1
+
     def remove_tb(self, tb: ThreadBlock) -> None:
         """Release a finished or fully saved TB's resources and warps."""
         for warp in tb.warps:
@@ -198,6 +225,8 @@ class SM:
                     break
         self.tbs.remove(tb)
         self.tb_count[tb.kernel_idx] -= 1
+        if not tb.evicting:
+            self.live_tb_count[tb.kernel_idx] -= 1
         self.resources.release(tb.spec)
 
     # -------------------------------------------------------------- sampling

@@ -202,6 +202,106 @@ class TestIdleSkip:
         assert sim2.result().kernels[0].retired_thread_insts == baseline
 
 
+class TestLiveTbAccounting:
+    """The incrementally-maintained live-TB counters must always equal a
+    recount over the resident TB lists."""
+
+    @staticmethod
+    def _assert_counters_match(sim):
+        for sm in sim.sms:
+            for kernel_idx in range(sim.num_kernels):
+                recount = sum(1 for tb in sm.tbs
+                              if tb.kernel_idx == kernel_idx
+                              and not tb.evicting)
+                assert sm.live_tb_count[kernel_idx] == recount
+                assert sm.tb_count[kernel_idx] == sum(
+                    1 for tb in sm.tbs if tb.kernel_idx == kernel_idx)
+        for kernel_idx in range(sim.num_kernels):
+            assert sim.total_tbs(kernel_idx) == sum(
+                sm.live_tb_count[kernel_idx] for sm in sim.sms)
+
+    def test_counters_after_preemption_heavy_run(self, gpu):
+        from repro.kernels import get_kernel
+        from repro.qos import QoSPolicy
+
+        launches = [
+            LaunchedKernel(get_kernel("sgemm"), is_qos=True, ipc_goal=120.0),
+            LaunchedKernel(get_kernel("lbm")),
+        ]
+        sim = GPUSimulator(gpu, launches, QoSPolicy("rollover"))
+        for _ in range(6):
+            sim.run(1000)
+            self._assert_counters_match(sim)
+        assert sim.result().evictions > 0  # the run actually preempted
+
+    def test_counters_through_explicit_target_swings(self, gpu):
+        sim = GPUSimulator(gpu, [LaunchedKernel(spec("a")),
+                                 LaunchedKernel(spec("b"))],
+                           policy=_ZeroPolicy())
+        sim.setup()
+        for target in (4, 1, 6, 0, 3):
+            sim.set_tb_target(0, 0, target)
+            sim.set_tb_target(1, 1, target)
+            sim.run(300)
+            self._assert_counters_match(sim)
+
+
+class TestSamplingGrid:
+    def test_samples_anchor_to_epoch_grid_under_idle_skips(self):
+        """Idle skips must not drift the idle-warp sampling grid: every full
+        epoch observes exactly ``idle_warp_samples`` samples (the epoch
+        boundary itself plus the interior grid points)."""
+        gpu = GPUConfig(num_sms=1, num_mcs=1, epoch_length=500,
+                        idle_warp_samples=10, sm=SMConfig(warp_schedulers=1))
+        # Dependent-load-heavy single TB: long idle gaps engage the skip
+        # path, which is what used to re-base the grid off-schedule.
+        mem_spec = spec("m", mix=InstructionMix(
+            alu=0.1, sfu=0.0, ldg=0.9, stg=0.0, lds=0.0), ilp=0.0)
+        counts = []
+
+        class Recorder(SharingPolicy):
+            def setup(self, engine):
+                engine.tb_targets[0][0] = 1
+
+            def on_epoch_start(self, engine, cycle, epoch_index):
+                if epoch_index > 0:
+                    counts.append(engine.sms[0].idle_samples)
+
+        sim = GPUSimulator(gpu, [LaunchedKernel(mem_spec)], Recorder())
+        sim.run(5000)
+        assert len(counts) >= 8
+        # Epoch 0 misses the boundary sample (its grid starts one interval
+        # into the run); every later epoch sees the full idle_warp_samples.
+        assert counts[0] == 9
+        assert all(count == 10 for count in counts[1:])
+
+    def test_skip_and_dense_runs_sample_identically(self):
+        """Cycle-by-cycle stepping (skip never engages across run() calls)
+        must land on the same sample grid as one long skipping run."""
+        gpu = GPUConfig(num_sms=1, num_mcs=1, epoch_length=400,
+                        idle_warp_samples=8, sm=SMConfig(warp_schedulers=1))
+        mem_spec = spec("m", mix=InstructionMix(
+            alu=0.1, sfu=0.0, ldg=0.9, stg=0.0, lds=0.0), ilp=0.0)
+
+        def sample_counts(step):
+            counts = []
+
+            class Recorder(SharingPolicy):
+                def setup(self, engine):
+                    engine.tb_targets[0][0] = 1
+
+                def on_epoch_start(self, engine, cycle, epoch_index):
+                    if epoch_index > 0:
+                        counts.append(engine.sms[0].idle_samples)
+
+            sim = GPUSimulator(gpu, [LaunchedKernel(mem_spec)], Recorder())
+            for _ in range(0, 4000, step):
+                sim.run(step)
+            return counts
+
+        assert sample_counts(4000) == sample_counts(1)
+
+
 class _ZeroPolicy(SharingPolicy):
     """Start with no TBs anywhere; tests drive targets explicitly."""
 

@@ -1,0 +1,88 @@
+"""Determinism and equivalence tests for the parallel sweep executor."""
+
+import pytest
+
+from repro.config import FAST_GPU
+from repro.harness.cache import CaseCache
+from repro.harness.parallel import ParallelCaseRunner, resolve_workers
+from repro.harness.runner import CaseRunner, CaseSpec
+from repro.kernels import get_kernel
+from repro.qos import QoSPolicy
+from repro.sim import GPUSimulator, LaunchedKernel
+
+CYCLES = 4000
+
+SPECS = [
+    CaseSpec.pair("sgemm", "lbm", 0.5, "rollover"),
+    CaseSpec.pair("mri-q", "spmv", 0.65, "spart"),
+    CaseSpec.trio(("sgemm", "lbm", "mri-q"), 1, 0.5, "rollover"),
+]
+
+
+class TestSimulatorDeterminism:
+    def test_identical_results_across_runs(self):
+        results = []
+        for _ in range(2):
+            kernels = [
+                LaunchedKernel(get_kernel("sgemm"), is_qos=True,
+                               ipc_goal=100.0),
+                LaunchedKernel(get_kernel("lbm")),
+            ]
+            sim = GPUSimulator(FAST_GPU, kernels, QoSPolicy("rollover"))
+            sim.run(6000)
+            results.append(sim.result())
+        assert results[0] == results[1]
+
+
+class TestResolveWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "7")
+        assert resolve_workers(3) == 3
+
+    def test_env_wins_over_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "5")
+        assert resolve_workers() == 5
+
+    def test_floor_of_one(self):
+        assert resolve_workers(0) == 1
+        assert resolve_workers(-4) == 1
+
+
+class TestSweepEquivalence:
+    @pytest.fixture(scope="class")
+    def serial_records(self):
+        return CaseRunner(FAST_GPU, CYCLES).sweep(SPECS)
+
+    def test_parallel_equals_serial_record_for_record(self, serial_records):
+        parallel = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2)
+        assert parallel.sweep(SPECS) == serial_records
+
+    def test_single_worker_equals_serial(self, serial_records):
+        parallel = ParallelCaseRunner(FAST_GPU, CYCLES, workers=1)
+        assert parallel.sweep(SPECS) == serial_records
+
+    def test_order_follows_input_not_completion(self, serial_records):
+        parallel = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2)
+        reversed_records = parallel.sweep(list(reversed(SPECS)))
+        assert reversed_records == list(reversed(serial_records))
+
+    def test_duplicate_specs_simulate_once(self):
+        parallel = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2)
+        records = parallel.sweep([SPECS[0], SPECS[0]])
+        assert records[0] is records[1]
+        assert parallel.cached_cases == 1
+
+    def test_sweep_seeds_isolated_memo(self):
+        parallel = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2)
+        parallel.sweep(SPECS[:1])
+        assert set(parallel._isolated) >= {"sgemm", "lbm"}
+
+    def test_sweep_through_cache_round_trip(self, tmp_path, serial_records):
+        cold = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2,
+                                  cache=CaseCache(tmp_path))
+        assert cold.sweep(SPECS) == serial_records
+        warm_cache = CaseCache(tmp_path)
+        warm = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2,
+                                  cache=warm_cache)
+        assert warm.sweep(SPECS) == serial_records
+        assert warm_cache.hits >= len(SPECS)
