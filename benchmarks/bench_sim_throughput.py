@@ -2,16 +2,28 @@
 
 Measures, on the current machine:
 
-1. Engine hot-path speed: simulated cycles/second for an isolated kernel
-   and for a QoS pair under the rollover scheme (the two shapes every
-   figure sweep is built from).
-2. Sweep wall-clock for a fast-preset Figure 6 slice three ways: serial
+1. Engine hot-path speed: simulated cycles/second for the canonical
+   workload shapes, run under both simulation cores — the event-driven
+   core (``engine_core="event"``, the default) and the reference
+   per-cycle-scan core (``"scan"``) — with the event/scan speedup per
+   shape.  The *membound stream* shape is the sleep-skipping showcase: a
+   bandwidth-bound kernel on many single-scheduler SMs under deep DRAM
+   latency, so most SMs spend most cycles stalled and the event core
+   skips them with one comparison each.
+2. A per-function cProfile hotspot table for the event core on the
+   showcase shape, so regressions in the hot path are visible as moved
+   rows rather than just a slower total.
+3. Sweep wall-clock for a fast-preset Figure 6 slice three ways: serial
    ``CaseRunner``, parallel ``ParallelCaseRunner``, and a warm-cache rerun
    (persistent case cache pre-populated by the parallel pass).
 
 Run standalone — it is a script, not a pytest benchmark::
 
     PYTHONPATH=src python benchmarks/bench_sim_throughput.py
+
+``--quick`` runs only the engine comparison and hotspot table at reduced
+cycle counts and never writes results; CI uses it as a smoke test that the
+bench harness itself works (no timing assertions).
 
 The report is printed and written to ``benchmarks/results/
 bench_sim_throughput.txt``.  Parallel speedup scales with the core count
@@ -22,17 +34,21 @@ should cost well under 10% of the cold sweep.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import os
 import pathlib
 import platform
+import pstats
 import tempfile
 import time
+from dataclasses import replace
 
-from repro.config import FAST_GPU
+from repro.config import FAST_GPU, KB, LatencyConfig, MemoryConfig, SMConfig
 from repro.harness.cache import CaseCache, code_salt
 from repro.harness.parallel import ParallelCaseRunner, resolve_workers
 from repro.harness.runner import CaseRunner, CaseSpec
 from repro.kernels import get_kernel
+from repro.kernels.synthetic import streaming_kernel
 from repro.qos import QoSPolicy
 from repro.sim import GPUSimulator, LaunchedKernel
 
@@ -43,23 +59,75 @@ RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "bench_sim_throughput
 SWEEP_GOALS = (0.5, 0.65, 0.8)
 SWEEP_PAIRS = (("sgemm", "lbm"), ("mri-q", "spmv"), ("stencil", "histo"))
 
+# The sleep-skipping showcase: 16 single-scheduler SMs (all resident warps
+# in one scheduler per SM — the shape where a per-select scan over the
+# warp list is most expensive) running a streaming kernel against deep
+# DRAM latency, so warps stall for thousands of cycles and whole SMs sleep
+# while memory is in flight.
+MEMBOUND_GPU = FAST_GPU.scaled(
+    num_sms=16, num_mcs=4,
+    sm=SMConfig(warp_schedulers=1),
+    memory=MemoryConfig(
+        l2_slice_size=256 * KB,
+        latency=LatencyConfig(dram=2000, dram_row_hit=1200, l2_hit=500)))
 
-def engine_throughput(cycles: int) -> list:
-    """Simulated cycles/second for the two canonical workload shapes."""
-    rows = []
-    shapes = [
-        ("isolated sgemm", [LaunchedKernel(get_kernel("sgemm"))], None),
-        ("rollover pair sgemm+lbm",
-         [LaunchedKernel(get_kernel("sgemm"), is_qos=True, ipc_goal=100.0),
-          LaunchedKernel(get_kernel("lbm"))],
-         QoSPolicy("rollover")),
+
+def _shapes():
+    return [
+        ("isolated sgemm", FAST_GPU,
+         lambda: [LaunchedKernel(get_kernel("sgemm"))], None),
+        ("rollover pair sgemm+lbm", FAST_GPU,
+         lambda: [LaunchedKernel(get_kernel("sgemm"), is_qos=True,
+                                 ipc_goal=100.0),
+                  LaunchedKernel(get_kernel("lbm"))],
+         "rollover"),
+        ("membound stream (16 SMs)", MEMBOUND_GPU,
+         lambda: [LaunchedKernel(streaming_kernel())], None),
     ]
-    for label, launches, policy in shapes:
-        sim = GPUSimulator(FAST_GPU, launches, policy)
+
+
+def _time_run(gpu, launches, policy_name, cycles, repeats=2) -> float:
+    best = None
+    for _ in range(repeats):
+        policy = QoSPolicy(policy_name) if policy_name else None
+        sim = GPUSimulator(gpu, launches(), policy)
         started = time.perf_counter()
         sim.run(cycles)
         elapsed = time.perf_counter() - started
-        rows.append((label, cycles, elapsed, cycles / elapsed))
+        best = elapsed if best is None else min(best, elapsed)
+    return best
+
+
+def engine_throughput(cycles: int, repeats: int = 3) -> list:
+    """Cycles/second per shape for both cores, plus the event/scan speedup."""
+    rows = []
+    for label, gpu, launches, policy_name in _shapes():
+        event = _time_run(replace(gpu, engine_core="event"),
+                          launches, policy_name, cycles, repeats)
+        scan = _time_run(replace(gpu, engine_core="scan"),
+                         launches, policy_name, cycles, repeats)
+        rows.append((label, cycles, event, cycles / event,
+                     cycles / scan, scan / event))
+    return rows
+
+
+def hotspot_table(cycles: int, top: int = 8) -> list:
+    """Top event-core functions by internal time on the showcase shape."""
+    sim = GPUSimulator(MEMBOUND_GPU, [LaunchedKernel(streaming_kernel())])
+    profiler = cProfile.Profile()
+    profiler.enable()
+    sim.run(cycles)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("tottime")
+    rows = []
+    for func in stats.fcn_list[:top]:
+        cc, _ncalls, tottime, cumtime, _callers = stats.stats[func]
+        filename, lineno, name = func
+        where = pathlib.Path(filename).name
+        if lineno:
+            where = f"{where}:{lineno}"
+        rows.append((f"{name} ({where})", cc, tottime, cumtime))
     return rows
 
 
@@ -99,7 +167,8 @@ def sweep_timings(cycles: int, workers: int) -> list:
     return rows
 
 
-def format_report(engine_rows, sweep_rows, cycles, workers) -> str:
+def format_report(engine_rows, hotspot_rows, sweep_rows, cycles,
+                  workers) -> str:
     lines = []
     lines.append("simulator throughput microbenchmark")
     lines.append("=" * 35)
@@ -107,21 +176,31 @@ def format_report(engine_rows, sweep_rows, cycles, workers) -> str:
                  f"cores {os.cpu_count()}  workers {workers}  "
                  f"code salt {code_salt()}")
     lines.append("")
-    lines.append(f"engine hot path ({cycles} cycles, FAST_GPU)")
-    lines.append(f"{'workload':<28}{'seconds':>9}{'cycles/sec':>13}")
-    for label, _cycles, elapsed, rate in engine_rows:
-        lines.append(f"{label:<28}{elapsed:>9.3f}{rate:>13,.0f}")
+    lines.append(f"engine hot path ({cycles} cycles; event core vs "
+                 "reference scan core)")
+    lines.append(f"{'workload':<28}{'seconds':>9}{'cyc/s event':>13}"
+                 f"{'cyc/s scan':>13}{'speedup':>9}")
+    for label, _cycles, elapsed, event_rate, scan_rate, speedup in engine_rows:
+        lines.append(f"{label:<28}{elapsed:>9.3f}{event_rate:>13,.0f}"
+                     f"{scan_rate:>13,.0f}{speedup:>8.2f}x")
     lines.append("")
-    cases = len(sweep_cases())
-    lines.append(f"figure 6 slice sweep ({cases} cases, {cycles} cycles each)")
-    lines.append(f"{'executor':<28}{'seconds':>9}{'vs serial':>13}")
-    for label, elapsed, speedup in sweep_rows:
-        lines.append(f"{label:<28}{elapsed:>9.3f}{speedup:>12.1f}x")
-    warm = sweep_rows[-1][1]
-    cold = sweep_rows[0][1]
-    lines.append("")
-    lines.append(f"warm-cache rerun is {100.0 * warm / cold:.1f}% "
-                 "of the cold serial sweep")
+    lines.append("event-core hotspots (membound stream, by internal time)")
+    lines.append(f"{'function':<44}{'calls':>9}{'tottime':>9}{'cumtime':>9}")
+    for name, ncalls, tottime, cumtime in hotspot_rows:
+        lines.append(f"{name:<44}{ncalls:>9}{tottime:>9.3f}{cumtime:>9.3f}")
+    if sweep_rows is not None:
+        lines.append("")
+        cases = len(sweep_cases())
+        lines.append(f"figure 6 slice sweep ({cases} cases, "
+                     f"{cycles} cycles each)")
+        lines.append(f"{'executor':<28}{'seconds':>9}{'vs serial':>13}")
+        for label, elapsed, speedup in sweep_rows:
+            lines.append(f"{label:<28}{elapsed:>9.3f}{speedup:>12.1f}x")
+        warm = sweep_rows[-1][1]
+        cold = sweep_rows[0][1]
+        lines.append("")
+        lines.append(f"warm-cache rerun is {100.0 * warm / cold:.1f}% "
+                     "of the cold serial sweep")
     return "\n".join(lines) + "\n"
 
 
@@ -132,12 +211,23 @@ def main() -> int:
     parser.add_argument("--workers", type=int, default=None,
                         help="pool width (default: REPRO_WORKERS or "
                              "cpu_count-1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="engine comparison + hotspots only, at reduced "
+                             "cycles; implies --no-save (CI smoke mode)")
     parser.add_argument("--no-save", action="store_true",
                         help="print only; do not update benchmarks/results/")
     args = parser.parse_args()
 
     workers = resolve_workers(args.workers)
+    if args.quick:
+        cycles = min(args.cycles, 6000)
+        report = format_report(engine_throughput(cycles, repeats=1),
+                               hotspot_table(cycles), None, cycles, workers)
+        print(report, end="")
+        return 0
+
     report = format_report(engine_throughput(args.cycles),
+                           hotspot_table(args.cycles),
                            sweep_timings(args.cycles, workers),
                            args.cycles, workers)
     print(report, end="")

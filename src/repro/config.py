@@ -137,6 +137,11 @@ class GPUConfig:
     core_freq_mhz: float = 1216.0
     mem_freq_mhz: float = 7000.0
     scheduler_policy: str = "gto"
+    #: Simulation-core variant: ``"event"`` is the event-driven core (per-SM
+    #: sleep skipping, two-tier warp wake queues); ``"scan"`` is the
+    #: reference per-cycle-scan core kept for differential testing.  Both
+    #: produce record-for-record identical results.
+    engine_core: str = "event"
     epoch_length: int = 10_000
     idle_warp_samples: int = 100
     sm: SMConfig = field(default_factory=SMConfig)
@@ -152,6 +157,8 @@ class GPUConfig:
             raise ValueError("epoch_length must be positive")
         if self.scheduler_policy not in ("gto", "lrr"):
             raise ValueError(f"unknown scheduler policy {self.scheduler_policy!r}")
+        if self.engine_core not in ("event", "scan"):
+            raise ValueError(f"unknown engine core {self.engine_core!r}")
 
     def scaled(self, **overrides) -> "GPUConfig":
         """Return a copy with the given fields replaced (convenience wrapper)."""

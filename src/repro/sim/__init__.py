@@ -16,7 +16,9 @@ targets that the engine realises through dispatch and preemption.
 from repro.sim.cache import Cache
 from repro.sim.memory import MemorySubsystem
 from repro.sim.warp import Warp, WarpState
-from repro.sim.scheduler import GTOScheduler, LRRScheduler, make_scheduler
+from repro.sim.scheduler import (GTOScheduler, LRRScheduler,
+                                 ScanGTOScheduler, ScanLRRScheduler,
+                                 make_scheduler)
 from repro.sim.tb import SMResources, ThreadBlock
 from repro.sim.stats import KernelStats, SimulationResult
 from repro.sim.engine import GPUSimulator, LaunchedKernel, SharingPolicy
@@ -28,6 +30,8 @@ __all__ = [
     "WarpState",
     "GTOScheduler",
     "LRRScheduler",
+    "ScanGTOScheduler",
+    "ScanLRRScheduler",
     "make_scheduler",
     "SMResources",
     "ThreadBlock",

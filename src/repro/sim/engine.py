@@ -95,9 +95,15 @@ class GPUSimulator:
         self.preemption = PreemptionEngine(config.preemption)
         self.sms: List[SM] = [
             SM(sm_id, config, self.runtimes, self.memory, self.kernel_stats,
-               self._on_quota_exhausted, self._on_tb_finished)
+               self._on_quota_exhausted, self._on_tb_finished,
+               self._sm_wake_changed)
             for sm_id in range(config.num_sms)
         ]
+        # GPU-level min over the SMs' wake hints, maintained lazily: any
+        # scheduler sleep-state change bubbles up through the SM's notify
+        # chain and marks it dirty.  ``_skip_idle`` reads the cached value.
+        self._sm_wake_min = 0
+        self._sm_wake_dirty = True
         self.tb_targets: List[List[int]] = [
             [0] * self.num_kernels for _ in range(config.num_sms)
         ]
@@ -133,9 +139,21 @@ class GPUSimulator:
         self.policy.on_epoch_start(self, 0, 0)
 
     def run(self, num_cycles: int) -> None:
-        """Advance the machine by ``num_cycles`` cycles."""
+        """Advance the machine by ``num_cycles`` cycles.
+
+        The event-driven core (``config.engine_core == "event"``) steps only
+        SMs whose wake hint has come due: a sleeping SM costs one comparison
+        per cycle instead of a full ``step()`` over its schedulers.  On
+        sample cycles sleep-skipped SMs still run idle-warp sampling so the
+        epoch-anchored grid observes every SM at every point.  The reference
+        core (``"scan"``) steps every SM every cycle; both produce
+        record-for-record identical results.
+        """
         self.setup()
         end_cycle = self.cycle + num_cycles
+        if self.config.engine_core == "scan":
+            self._run_scan(end_cycle)
+            return
         sms = self.sms
         preemption = self.preemption
         sample_interval = self.sample_interval
@@ -154,6 +172,40 @@ class GPUSimulator:
                 # current cycle): idle skips may overshoot several sample
                 # points, and re-basing on `cycle` would drift the grid so
                 # epochs stop seeing `idle_warp_samples` samples each.
+                missed = (cycle - self.next_sample_at) // sample_interval
+                self.next_sample_at += (missed + 1) * sample_interval
+            issued = 0
+            # The wake hint is re-read at each SM's turn: an event earlier
+            # in this same cycle (quota refill, TB dispatch) may have woken
+            # an SM later in the list, exactly as the scan core would see.
+            # (Inlined wake_hint fast path: this comparison runs per SM per
+            # cycle, so the clean-cache case avoids a method call.)
+            for sm in sms:
+                hint = sm._wake_min if not sm._wake_dirty else sm.wake_hint()
+                if hint <= cycle:
+                    issued += sm.step(cycle, sample)
+                elif sample:
+                    sm.sample_idle(cycle)
+            self.cycle = cycle + 1
+            if issued == 0:
+                self._skip_idle(end_cycle)
+
+    def _run_scan(self, end_cycle: int) -> None:
+        """Reference per-cycle loop: step every SM every cycle."""
+        sms = self.sms
+        preemption = self.preemption
+        sample_interval = self.sample_interval
+        while self.cycle < end_cycle:
+            cycle = self.cycle
+            next_done = preemption.next_completion
+            if next_done is not None and next_done <= cycle:
+                for sm, tb in preemption.pop_completed(cycle):
+                    sm.remove_tb(tb)
+                    self._dispatch_sm(sm, cycle)
+            if cycle >= self.next_epoch_at:
+                self._begin_epoch(cycle)
+            sample = cycle >= self.next_sample_at
+            if sample:
                 missed = (cycle - self.next_sample_at) // sample_interval
                 self.next_sample_at += (missed + 1) * sample_interval
             issued = 0
@@ -176,6 +228,21 @@ class GPUSimulator:
         for sm in self.sms:
             sm.reset_epoch_sampling()
 
+    def _sm_wake_changed(self) -> None:
+        self._sm_wake_dirty = True
+
+    def _min_sm_wake(self) -> int:
+        """Earliest wake hint across all SMs (lazily cached minimum)."""
+        if self._sm_wake_dirty:
+            wake = _FOREVER
+            for sm in self.sms:
+                hint = sm.wake_hint()
+                if hint < wake:
+                    wake = hint
+            self._sm_wake_min = wake
+            self._sm_wake_dirty = False
+        return self._sm_wake_min
+
     def _skip_idle(self, end_cycle: int) -> None:
         """Jump over cycles in which no warp can possibly issue."""
         wake = self.next_epoch_at
@@ -184,10 +251,9 @@ class GPUSimulator:
             wake = next_done
         if self.next_sample_at < wake:
             wake = self.next_sample_at
-        for sm in self.sms:
-            hint = sm.wake_hint()
-            if hint < wake:
-                wake = hint
+        sm_wake = self._min_sm_wake()
+        if sm_wake < wake:
+            wake = sm_wake
         if wake > self.cycle:
             self.cycle = min(wake, end_cycle)
 

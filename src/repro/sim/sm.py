@@ -31,7 +31,8 @@ class SM:
                  memory: MemorySubsystem,
                  kernel_stats: List[KernelStats],
                  on_quota_exhausted: Callable,
-                 on_tb_finished: Callable):
+                 on_tb_finished: Callable,
+                 wake_listener: Optional[Callable] = None):
         self.sm_id = sm_id
         self.config = config
         self.runtimes = runtimes
@@ -39,7 +40,8 @@ class SM:
         self.kernel_stats = kernel_stats
         self.resources = SMResources(config.sm)
         self.schedulers = [make_scheduler(config.scheduler_policy,
-                                          self._sleep_changed)
+                                          self._sleep_changed,
+                                          config.engine_core)
                            for _ in range(config.sm.warp_schedulers)]
         self.tbs: List[ThreadBlock] = []
         num_kernels = len(runtimes)
@@ -48,10 +50,13 @@ class SM:
         #: dispatch / eviction-begin / removal so residency queries are O(1)
         #: instead of a scan over ``tbs``.
         self.live_tb_count = [0] * num_kernels
-        # Cached min over scheduler ``sleep_until``s for the engine's
-        # idle-skip; invalidated by the schedulers' notify callback.
+        # Cached min over scheduler ``sleep_until``s for the engine's per-SM
+        # sleep skipping and idle-skip; invalidated by the schedulers'
+        # notify callback.  ``wake_listener`` (the engine) is told about
+        # every change so it can keep a GPU-level minimum of the hints.
         self._wake_min = 0
         self._wake_dirty = True
+        self._wake_listener = wake_listener
         # Enhanced Warp Scheduler state.  With quotas disabled the
         # all-True eligibility list makes this SM behave like stock hardware.
         self.quota_enabled = False
@@ -83,7 +88,7 @@ class SM:
                 issued += 1
         self.issued_total += issued
         if sample:
-            self._sample_idle(cycle)
+            self.sample_idle(cycle)
         return issued
 
     def _issue(self, warp: Warp, cycle: int) -> None:
@@ -149,11 +154,15 @@ class SM:
             scheduler.sleep_until = 0
         self._wake_min = 0
         self._wake_dirty = False
+        if self._wake_listener is not None:
+            self._wake_listener()
 
     wake_all = _wake_schedulers
 
     def _sleep_changed(self) -> None:
         self._wake_dirty = True
+        if self._wake_listener is not None:
+            self._wake_listener()
 
     def wake_hint(self) -> int:
         """Earliest cycle at which any of this SM's schedulers may issue."""
@@ -219,10 +228,11 @@ class SM:
     def remove_tb(self, tb: ThreadBlock) -> None:
         """Release a finished or fully saved TB's resources and warps."""
         for warp in tb.warps:
-            for scheduler in self.schedulers:
-                if warp in scheduler.warps:
-                    scheduler.remove_warp(warp)
-                    break
+            # The back-reference set at add_warp replaces the old
+            # O(schedulers x warps) membership probe per warp.
+            scheduler = warp.sched
+            if scheduler is not None:
+                scheduler.remove_warp(warp)
         self.tbs.remove(tb)
         self.tb_count[tb.kernel_idx] -= 1
         if not tb.evicting:
@@ -231,7 +241,7 @@ class SM:
 
     # -------------------------------------------------------------- sampling
 
-    def _sample_idle(self, cycle: int) -> None:
+    def sample_idle(self, cycle: int) -> None:
         """Count ready-but-not-issued warps per kernel (idle warps, Sec 3.6).
 
         Runs after the issue loop, so any warp still ready this cycle could
@@ -240,12 +250,15 @@ class SM:
         without contributing progress, which is exactly the excess-TLP
         signal the TB re-allocator needs (a satisfied QoS kernel's parked
         warps are what the non-QoS side can reclaim).
+
+        The engine also calls this directly for SMs it sleep-skips on a
+        sample cycle, so every SM observes every grid point.  Counting goes
+        through the schedulers' readiness structures (``sample_ready``):
+        O(ready warps) on the event core instead of a scan over every warp.
         """
         idle = self.idle_sum
         for scheduler in self.schedulers:
-            for warp in scheduler.warps:
-                if warp.state == 0 and warp.ready_at <= cycle:
-                    idle[warp.kernel_idx] += 1
+            scheduler.sample_ready(cycle, idle)
         self.idle_samples += 1
 
     def reset_epoch_sampling(self) -> None:
