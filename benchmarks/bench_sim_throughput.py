@@ -13,7 +13,11 @@ Measures, on the current machine:
 2. A per-function cProfile hotspot table for the event core on the
    showcase shape, so regressions in the hot path are visible as moved
    rows rather than just a slower total.
-3. Sweep wall-clock for a fast-preset Figure 6 slice three ways: serial
+3. Epoch-telemetry overhead: the canonical shapes timed with telemetry
+   off (no recorder attached — the default, which must stay free) and on
+   (a :class:`repro.sim.TelemetryRecorder` collecting every epoch
+   record), with the on/off overhead percentage per shape.
+4. Sweep wall-clock for a fast-preset Figure 6 slice three ways: serial
    ``CaseRunner``, parallel ``ParallelCaseRunner``, and a warm-cache rerun
    (persistent case cache pre-populated by the parallel pass).
 
@@ -50,7 +54,7 @@ from repro.harness.runner import CaseRunner, CaseSpec
 from repro.kernels import get_kernel
 from repro.kernels.synthetic import streaming_kernel
 from repro.qos import QoSPolicy
-from repro.sim import GPUSimulator, LaunchedKernel
+from repro.sim import GPUSimulator, LaunchedKernel, TelemetryRecorder
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "bench_sim_throughput.txt"
 
@@ -86,11 +90,13 @@ def _shapes():
     ]
 
 
-def _time_run(gpu, launches, policy_name, cycles, repeats=2) -> float:
+def _time_run(gpu, launches, policy_name, cycles, repeats=2,
+              telemetry=False) -> float:
     best = None
     for _ in range(repeats):
         policy = QoSPolicy(policy_name) if policy_name else None
-        sim = GPUSimulator(gpu, launches(), policy)
+        recorder = TelemetryRecorder() if telemetry else None
+        sim = GPUSimulator(gpu, launches(), policy, telemetry=recorder)
         started = time.perf_counter()
         sim.run(cycles)
         elapsed = time.perf_counter() - started
@@ -131,6 +137,21 @@ def hotspot_table(cycles: int, top: int = 8) -> list:
     return rows
 
 
+def telemetry_overhead(cycles: int, repeats: int = 3) -> list:
+    """Per-shape wall-clock with telemetry off vs on, and the overhead %.
+
+    The off column is the default configuration (no recorder attached);
+    it is the one the <5% acceptance bound guards.
+    """
+    rows = []
+    for label, gpu, launches, policy_name in _shapes():
+        off = _time_run(gpu, launches, policy_name, cycles, repeats)
+        on = _time_run(gpu, launches, policy_name, cycles, repeats,
+                       telemetry=True)
+        rows.append((label, off, on, 100.0 * (on - off) / off))
+    return rows
+
+
 def sweep_cases() -> list:
     return [CaseSpec.pair(qos, other, goal, policy)
             for qos, other in SWEEP_PAIRS
@@ -167,8 +188,8 @@ def sweep_timings(cycles: int, workers: int) -> list:
     return rows
 
 
-def format_report(engine_rows, hotspot_rows, sweep_rows, cycles,
-                  workers) -> str:
+def format_report(engine_rows, hotspot_rows, telemetry_rows, sweep_rows,
+                  cycles, workers) -> str:
     lines = []
     lines.append("simulator throughput microbenchmark")
     lines.append("=" * 35)
@@ -188,6 +209,11 @@ def format_report(engine_rows, hotspot_rows, sweep_rows, cycles,
     lines.append(f"{'function':<44}{'calls':>9}{'tottime':>9}{'cumtime':>9}")
     for name, ncalls, tottime, cumtime in hotspot_rows:
         lines.append(f"{name:<44}{ncalls:>9}{tottime:>9.3f}{cumtime:>9.3f}")
+    lines.append("")
+    lines.append("epoch telemetry overhead (off = default, no recorder)")
+    lines.append(f"{'workload':<28}{'off s':>9}{'on s':>9}{'overhead':>10}")
+    for label, off, on, overhead in telemetry_rows:
+        lines.append(f"{label:<28}{off:>9.3f}{on:>9.3f}{overhead:>9.1f}%")
     if sweep_rows is not None:
         lines.append("")
         cases = len(sweep_cases())
@@ -222,12 +248,15 @@ def main() -> int:
     if args.quick:
         cycles = min(args.cycles, 6000)
         report = format_report(engine_throughput(cycles, repeats=1),
-                               hotspot_table(cycles), None, cycles, workers)
+                               hotspot_table(cycles),
+                               telemetry_overhead(cycles, repeats=1),
+                               None, cycles, workers)
         print(report, end="")
         return 0
 
     report = format_report(engine_throughput(args.cycles),
                            hotspot_table(args.cycles),
+                           telemetry_overhead(args.cycles),
                            sweep_timings(args.cycles, workers),
                            args.cycles, workers)
     print(report, end="")

@@ -48,9 +48,9 @@ class _CappedFill(SharingPolicy):
     def __init__(self, cap):
         self.cap = cap
 
-    def setup(self, engine):
-        for sm_id in range(engine.config.num_sms):
-            engine.tb_targets[sm_id][0] = self.cap
+    def setup(self, ctx):
+        for sm_id in range(ctx.num_sms):
+            ctx.set_tb_target(sm_id, 0, self.cap)
 
 
 def isolated_ipc(spec, cap=None):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from repro.sim.engine import GPUSimulator, SharingPolicy
+from repro.sim.policy import PolicyContext, SharingPolicy
 
 #: Relative surplus a QoS kernel must keep after losing one SM for the
 #: hill climber to hand that SM back to a non-QoS kernel.  The linear
@@ -48,16 +48,16 @@ class SpartPolicy(SharingPolicy):
 
     # --------------------------------------------------------------- setup
 
-    def setup(self, engine: GPUSimulator) -> None:
-        for idx, launch in enumerate(engine.kernels):
+    def setup(self, ctx: PolicyContext) -> None:
+        for idx, launch in enumerate(ctx.kernels):
             if launch.is_qos:
                 self.qos_indices.append(idx)
                 self.goals[idx] = launch.ipc_goal
             else:
                 self.nonqos_indices.append(idx)
             self.ipc_history[idx] = 0.0
-        num_sms = engine.config.num_sms
-        num_kernels = engine.num_kernels
+        num_sms = ctx.num_sms
+        num_kernels = ctx.num_kernels
         if num_kernels > num_sms:
             raise ValueError("spatial partitioning needs at least one SM per kernel")
         share = num_sms // num_kernels
@@ -69,34 +69,35 @@ class SpartPolicy(SharingPolicy):
         self.owner = []
         for idx in range(num_kernels):
             self.owner.extend([idx] * counts[idx])
-        self._apply_partition(engine)
+        self._apply_partition(ctx)
 
-    def _apply_partition(self, engine: GPUSimulator) -> None:
-        max_tbs = engine.config.sm.max_tbs
+    def _apply_partition(self, ctx: PolicyContext) -> None:
+        max_tbs = ctx.config.sm.max_tbs
         for sm_id, owner_idx in enumerate(self.owner):
-            for kernel_idx in range(engine.num_kernels):
+            for kernel_idx in range(ctx.num_kernels):
                 target = max_tbs if kernel_idx == owner_idx else 0
-                engine.set_tb_target(sm_id, kernel_idx, target)
+                ctx.set_tb_target(sm_id, kernel_idx, target)
 
     # --------------------------------------------------------------- epochs
 
-    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+    def on_epoch_start(self, ctx: PolicyContext, cycle: int,
                        epoch_index: int) -> None:
         if epoch_index == 0:
             return
-        for idx, stats in enumerate(engine.kernel_stats):
-            self.ipc_history[idx] = stats.retired_thread_insts / max(1, cycle)
+        view = ctx.epoch
+        for idx in range(ctx.num_kernels):
+            self.ipc_history[idx] = view.cumulative_ipc[idx]
         if epoch_index % self.adjust_interval != 0:
             return
-        if engine.preemption.has_pending or epoch_index < self._settle_until_epoch:
+        if ctx.preemption_pending or epoch_index < self._settle_until_epoch:
             return  # let the previous repartition settle first
-        if self._hill_climb(engine):
+        if self._hill_climb(ctx):
             self._settle_until_epoch = epoch_index + SETTLE_EPOCHS
 
     def sm_count(self, kernel_idx: int) -> int:
         return self.owner.count(kernel_idx)
 
-    def _hill_climb(self, engine: GPUSimulator) -> bool:
+    def _hill_climb(self, ctx: PolicyContext) -> bool:
         """One hill-climbing move: grow a lagging QoS kernel, or shrink an
         over-achieving one in favour of the non-QoS partition.  Returns
         True when a repartition happened."""
@@ -108,10 +109,10 @@ class SpartPolicy(SharingPolicy):
             for idx in lagging:
                 donor = self._choose_donor(idx)
                 if donor is not None:
-                    self._transfer_sm(engine, donor, idx)
+                    self._transfer_sm(ctx, donor, idx)
                     return True
             return False
-        return self._maybe_give_back(engine)
+        return self._maybe_give_back(ctx)
 
     def _choose_donor(self, beneficiary: int) -> Optional[int]:
         """Donor preference: largest non-QoS partition, else a QoS kernel
@@ -133,7 +134,7 @@ class SpartPolicy(SharingPolicy):
                 best, best_surplus = idx, surplus
         return best
 
-    def _maybe_give_back(self, engine: GPUSimulator) -> bool:
+    def _maybe_give_back(self, ctx: PolicyContext) -> bool:
         """All goals met: return one SM to the non-QoS side if a QoS kernel
         would stay comfortably above its goal without it."""
         if not self.nonqos_indices:
@@ -147,15 +148,15 @@ class SpartPolicy(SharingPolicy):
                 continue
             predicted = self.ipc_history[idx] * (sms - 1) / sms
             if predicted > self.goals[idx] * GIVE_BACK_MARGIN:
-                self._transfer_sm(engine, idx, receiver)
+                self._transfer_sm(ctx, idx, receiver)
                 return True
         return False
 
-    def _transfer_sm(self, engine: GPUSimulator, donor: int, receiver: int) -> None:
+    def _transfer_sm(self, ctx: PolicyContext, donor: int, receiver: int) -> None:
         """Move one SM from donor to receiver (SM-granularity context switch)."""
         sm_id = max(i for i, owner in enumerate(self.owner) if owner == donor)
         self.owner[sm_id] = receiver
-        engine.set_tb_target(sm_id, donor, 0)
-        engine.set_tb_target(sm_id, receiver, engine.config.sm.max_tbs)
-        engine.memory.flush_l1(sm_id)
+        ctx.set_tb_target(sm_id, donor, 0)
+        ctx.set_tb_target(sm_id, receiver, ctx.config.sm.max_tbs)
+        ctx.flush_l1(sm_id)
         self.moves += 1

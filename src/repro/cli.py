@@ -10,6 +10,7 @@ Examples::
     repro-gpu-qos fig06a --no-cache           # skip the persistent store
     repro-gpu-qos cache stats                 # inspect the persistent store
     repro-gpu-qos cache clear
+    repro-gpu-qos trace mri-q lbm -o case.jsonl   # per-epoch telemetry
     python -m repro fig14
 
 Environment knobs: ``REPRO_WORKERS`` sets the default process-pool width,
@@ -37,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig06a, table1, sec48_history), "
-             "'all', 'list', or 'cache'")
+             "'all', 'list', 'cache', or 'trace'")
     parser.add_argument(
         "action", nargs="?", default=None,
         help="subcommand for 'cache': stats or clear")
@@ -73,6 +74,77 @@ def _cache_command(action: Optional[str]) -> int:
     return 0
 
 
+def build_trace_parser() -> argparse.ArgumentParser:
+    from repro.harness.runner import POLICY_NAMES
+
+    parser = argparse.ArgumentParser(
+        prog="repro-gpu-qos trace",
+        description="Run one co-run case with engine telemetry enabled and "
+                    "write the per-epoch record stream as JSONL")
+    parser.add_argument(
+        "kernels", nargs="+",
+        help="kernel names, QoS kernels first (e.g. 'mri-q lbm')")
+    parser.add_argument("--qos", type=int, default=1, metavar="N",
+                        help="how many leading kernels are QoS kernels "
+                             "(default: 1)")
+    parser.add_argument("--goal", type=float, default=0.5, metavar="FRAC",
+                        help="QoS goal as a fraction of isolated IPC "
+                             "(default: 0.5)")
+    parser.add_argument("--policy", default="rollover", choices=POLICY_NAMES,
+                        help="sharing scheme (default: rollover)")
+    parser.add_argument("--preset", default="fast",
+                        choices=("fast", "paper", "smoke"),
+                        help="machine/scale preset (default: fast)")
+    parser.add_argument("-o", "--output", default=None,
+                        help="trace file path (default: stdout)")
+    return parser
+
+
+def _trace_command(argv: Sequence[str]) -> int:
+    from repro.harness.runner import CaseRunner
+    from repro.trace.jsonl import write_trace
+
+    args = build_trace_parser().parse_args(argv)
+    if not 1 <= args.qos <= len(args.kernels):
+        print("error: --qos must be between 1 and the kernel count",
+              file=sys.stderr)
+        return 2
+    if len(args.kernels) < 2 and args.qos >= len(args.kernels):
+        print("error: need at least one non-QoS kernel to share with",
+              file=sys.stderr)
+        return 2
+    preset = experiment_preset(args.preset)
+    qos_flags = tuple(i < args.qos for i in range(len(args.kernels)))
+    goal_fractions = tuple(args.goal if flag else None for flag in qos_flags)
+
+    runner = CaseRunner(preset.gpu, preset.cycles, telemetry=True)
+    record = runner.run_case(tuple(args.kernels), qos_flags, goal_fractions,
+                             args.policy)
+    meta = {
+        "kernels": list(args.kernels),
+        "qos": list(qos_flags),
+        "goal_fraction": args.goal,
+        "policy": args.policy,
+        "preset": args.preset,
+        "cycles": preset.cycles,
+        "warmup_cycles": runner.warmup_cycles,
+    }
+    if args.output:
+        with open(args.output, "w") as stream:
+            count = write_trace(stream, record.telemetry, meta=meta)
+        print(f"wrote {count} epoch records to {args.output}",
+              file=sys.stderr)
+    else:
+        count = write_trace(sys.stdout, record.telemetry, meta=meta)
+    for outcome in record.kernels:
+        role = "QoS" if outcome.is_qos else "non-QoS"
+        goal = (f", goal {'MET' if outcome.reached else 'MISSED'}"
+                if outcome.is_qos else "")
+        print(f"[{outcome.name}: {role}, IPC {outcome.ipc:.1f}{goal}]",
+              file=sys.stderr)
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     try:
         return _main(argv)
@@ -81,6 +153,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
 
 def _main(argv: Optional[Sequence[str]] = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    # 'trace' has its own option grammar; dispatch before the main parse.
+    if argv and argv[0] == "trace":
+        return _trace_command(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for experiment_id in ExperimentSuite.EXPERIMENTS:

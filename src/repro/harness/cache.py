@@ -34,6 +34,7 @@ from typing import Dict, Optional, Sequence
 
 from repro.config import GPUConfig
 from repro.harness.runner import CaseRecord, KernelOutcome
+from repro.sim.telemetry import epoch_record_from_dict
 
 ENV_CACHE = "REPRO_CACHE"
 
@@ -45,18 +46,27 @@ _SALTED = ("config.py", "isa", "kernels", "sim", "qos", "baselines",
 _code_salt_memo: Optional[str] = None
 
 
+def salted_paths() -> list:
+    """Every source file (relative to ``src/repro``) covered by the salt."""
+    package_root = pathlib.Path(__file__).resolve().parents[1]
+    paths = []
+    for entry in _SALTED:
+        path = package_root / entry
+        files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        paths.extend(str(source.relative_to(package_root)) for source in files)
+    return paths
+
+
 def code_salt() -> str:
     """Digest of the simulation-affecting source tree (memoised)."""
     global _code_salt_memo
     if _code_salt_memo is None:
         package_root = pathlib.Path(__file__).resolve().parents[1]
         digest = hashlib.sha256()
-        for entry in _SALTED:
-            path = package_root / entry
-            files = sorted(path.rglob("*.py")) if path.is_dir() else [path]
-            for source in files:
-                digest.update(str(source.relative_to(package_root)).encode())
-                digest.update(source.read_bytes())
+        for relative in salted_paths():
+            source = package_root / relative
+            digest.update(relative.encode())
+            digest.update(source.read_bytes())
         _code_salt_memo = digest.hexdigest()[:16]
     return _code_salt_memo
 
@@ -101,13 +111,18 @@ def isolated_key(gpu: GPUConfig, name: str, cycles: int, warmup: int) -> str:
 def case_key(gpu: GPUConfig, names: Sequence[str],
              qos_flags: Sequence[bool],
              goal_fractions: Sequence[Optional[float]],
-             policy: str, cycles: int, warmup: int) -> str:
+             policy: str, cycles: int, warmup: int,
+             telemetry: bool = False) -> str:
     payload = _machine_payload(gpu, cycles, warmup)
     payload["kind"] = "case"
     payload["kernels"] = list(names)
     payload["qos"] = list(qos_flags)
     payload["goals"] = list(goal_fractions)
     payload["policy"] = policy
+    # Telemetry-bearing records carry the per-epoch stream; keep them
+    # distinct from lean records so toggling the flag never serves a
+    # record without (or with unwanted) telemetry attached.
+    payload["telemetry"] = bool(telemetry)
     return _digest(payload)
 
 
@@ -119,8 +134,11 @@ def record_to_dict(record: CaseRecord) -> dict:
 
 def record_from_dict(data: dict) -> CaseRecord:
     kernels = tuple(KernelOutcome(**outcome) for outcome in data["kernels"])
-    rest = {key: value for key, value in data.items() if key != "kernels"}
-    return CaseRecord(kernels=kernels, **rest)
+    telemetry = tuple(epoch_record_from_dict(entry)
+                      for entry in data.get("telemetry", ()))
+    rest = {key: value for key, value in data.items()
+            if key not in ("kernels", "telemetry")}
+    return CaseRecord(kernels=kernels, telemetry=telemetry, **rest)
 
 
 # -------------------------------------------------------------------- store

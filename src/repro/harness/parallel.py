@@ -54,10 +54,10 @@ def _isolated_task(args: Tuple[GPUConfig, int, int, str]) -> float:
     return CaseRunner(gpu, cycles, warmup).isolated_ipc(name)
 
 
-def _case_task(args: Tuple[GPUConfig, int, int, Dict[str, float], CaseSpec]
-               ) -> CaseRecord:
-    gpu, cycles, warmup, isolated, spec = args
-    runner = CaseRunner(gpu, cycles, warmup)
+def _case_task(args: Tuple[GPUConfig, int, int, bool, Dict[str, float],
+                           CaseSpec]) -> CaseRecord:
+    gpu, cycles, warmup, telemetry, isolated, spec = args
+    runner = CaseRunner(gpu, cycles, warmup, telemetry=telemetry)
     runner._isolated.update(isolated)
     return runner.run_case(spec.names, spec.qos_flags, spec.goal_fractions,
                            spec.policy)
@@ -68,8 +68,9 @@ class ParallelCaseRunner(CaseRunner):
 
     def __init__(self, gpu: GPUConfig, cycles: int,
                  warmup_cycles: Optional[int] = None, cache=None,
-                 workers: Optional[int] = None):
-        super().__init__(gpu, cycles, warmup_cycles, cache=cache)
+                 workers: Optional[int] = None, telemetry: bool = False):
+        super().__init__(gpu, cycles, warmup_cycles, cache=cache,
+                         telemetry=telemetry)
         self.workers = resolve_workers(workers)
 
     # ----------------------------------------------------------- fan-out
@@ -100,7 +101,7 @@ class ParallelCaseRunner(CaseRunner):
                     missing[key] = spec
         if missing:
             argument_list = [(self.gpu, self.cycles, self.warmup_cycles,
-                              dict(self._isolated), spec)
+                              self.telemetry, dict(self._isolated), spec)
                              for spec in missing.values()]
             records = self._map(_case_task, argument_list)
             for (key, spec), record in zip(missing.items(), records):
@@ -150,7 +151,8 @@ class ParallelCaseRunner(CaseRunner):
         from repro.harness.cache import case_key
         cached = self.cache.get_case(case_key(
             self.gpu, spec.names, spec.qos_flags, spec.goal_fractions,
-            spec.policy, self.cycles, self.warmup_cycles))
+            spec.policy, self.cycles, self.warmup_cycles,
+            telemetry=self.telemetry))
         if cached is None:
             return False
         self._cases[key] = cached
@@ -162,4 +164,5 @@ class ParallelCaseRunner(CaseRunner):
         from repro.harness.cache import case_key
         self.cache.put_case(case_key(
             self.gpu, spec.names, spec.qos_flags, spec.goal_fractions,
-            spec.policy, self.cycles, self.warmup_cycles), record)
+            spec.policy, self.cycles, self.warmup_cycles,
+            telemetry=self.telemetry), record)

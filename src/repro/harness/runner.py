@@ -26,6 +26,7 @@ from repro.kernels import get_kernel, intensity_class
 from repro.power import PowerModel
 from repro.qos import QoSPolicy
 from repro.sim import GPUSimulator, LaunchedKernel, SharingPolicy
+from repro.sim.telemetry import EpochRecord
 
 #: Scheme names accepted by :meth:`CaseRunner.run_case`.
 POLICY_NAMES = ("spart", "naive", "history", "elastic", "rollover",
@@ -120,6 +121,10 @@ class CaseRecord:
     eviction_stall_cycles: int
     power_w: float
     instructions_per_watt: float
+    #: Per-epoch telemetry stream (empty unless the runner was built with
+    #: ``telemetry=True``).  Spans warm-up plus measurement: the control
+    #: loop's convergence transient is part of what the trace is for.
+    telemetry: Tuple[EpochRecord, ...] = ()
 
     @property
     def qos_met(self) -> bool:
@@ -149,7 +154,8 @@ class CaseRunner:
     """
 
     def __init__(self, gpu: GPUConfig, cycles: int,
-                 warmup_cycles: Optional[int] = None, cache=None):
+                 warmup_cycles: Optional[int] = None, cache=None,
+                 telemetry: bool = False):
         self.gpu = gpu
         self.cycles = cycles
         if warmup_cycles is None:
@@ -158,6 +164,11 @@ class CaseRunner:
         #: Optional :class:`repro.harness.cache.CaseCache`; consulted on memo
         #: misses, fed on every fresh simulation.
         self.cache = cache
+        #: When True, every co-run case carries its per-epoch telemetry
+        #: stream in :attr:`CaseRecord.telemetry` (isolated runs are never
+        #: telemetered — they only produce a scalar IPC).  Part of the cache
+        #: key: telemetry-bearing records are cached separately.
+        self.telemetry = telemetry
         self._isolated: Dict[str, float] = {}
         self._cases: Dict[tuple, CaseRecord] = {}
         self._power = PowerModel(gpu)
@@ -206,7 +217,8 @@ class CaseRunner:
         if self.cache is not None:
             from repro.harness.cache import case_key
             cache_key = case_key(self.gpu, names, qos_flags, goal_fractions,
-                                 policy, self.cycles, self.warmup_cycles)
+                                 policy, self.cycles, self.warmup_cycles,
+                                 telemetry=self.telemetry)
             cached = self.cache.get_case(cache_key)
             if cached is not None:
                 self._cases[key] = cached
@@ -224,11 +236,17 @@ class CaseRunner:
                 launches.append(LaunchedKernel(get_kernel(name)))
             goals.append(goal)
 
-        sim = GPUSimulator(self.gpu, launches, make_policy(policy))
+        recorder = None
+        if self.telemetry:
+            from repro.sim.telemetry import TelemetryRecorder
+            recorder = TelemetryRecorder()
+        sim = GPUSimulator(self.gpu, launches, make_policy(policy),
+                           telemetry=recorder)
         sim.run(self.warmup_cycles)
         sim.mark_measurement_start()
         sim.run(self.cycles)
         result = sim.result()
+        epoch_records = sim.finalize_telemetry()
 
         outcomes = []
         for launch, kernel_result, goal, fraction in zip(
@@ -251,6 +269,7 @@ class CaseRunner:
             eviction_stall_cycles=result.eviction_stall_cycles,
             power_w=power_w,
             instructions_per_watt=self._power.instructions_per_watt(result),
+            telemetry=epoch_records,
         )
         self._cases[key] = record
         if cache_key is not None:

@@ -59,12 +59,12 @@ class _CappedFill(SharingPolicy):
     def __init__(self, fraction: float):
         self.fraction = fraction
 
-    def setup(self, engine) -> None:
-        spec = engine.kernels[0].spec
-        ceiling = spec.max_tbs_per_sm(engine.config.sm)
+    def setup(self, ctx) -> None:
+        spec = ctx.kernels[0].spec
+        ceiling = spec.max_tbs_per_sm(ctx.config.sm)
         target = max(1, int(round(ceiling * self.fraction)))
-        for sm_id in range(engine.config.num_sms):
-            engine.tb_targets[sm_id][0] = target
+        for sm_id in range(ctx.num_sms):
+            ctx.set_tb_target(sm_id, 0, target)
 
 
 def _run(spec: KernelSpec, gpu: GPUConfig, cycles: int,

@@ -100,10 +100,10 @@ class _TimelinePolicy(QoSPolicy):
         super().__init__(scheme)
         self.timeline: List[Tuple[int, Tuple[int, ...]]] = []
 
-    def on_epoch_start(self, engine, cycle, epoch_index):
+    def on_epoch_start(self, ctx, cycle, epoch_index):
         self.timeline.append((cycle, tuple(
-            stats.retired_thread_insts for stats in engine.kernel_stats)))
-        super().on_epoch_start(engine, cycle, epoch_index)
+            ctx.retired(idx) for idx in range(ctx.num_kernels))))
+        super().on_epoch_start(ctx, cycle, epoch_index)
 
 
 class GPUServer:

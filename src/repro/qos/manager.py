@@ -8,6 +8,10 @@ Scheduler, proportionally to the TBs it hosts).  The quota *scheme* decides
 how counters refresh at epoch boundaries; the manager decides how large the
 quotas are, using the history-based alpha (Section 3.4.2) and the non-QoS
 goal search (Section 3.5).
+
+The manager is written purely against :class:`repro.sim.policy.PolicyContext`
+— measurement comes from the context's per-epoch :class:`EpochView`, and all
+machine effects go through the context's actuation surface.
 """
 
 from __future__ import annotations
@@ -17,7 +21,7 @@ from typing import Dict, List, Union
 from repro.qos.nonqos import INITIAL_NONQOS_IPC, nonqos_ipc_goal
 from repro.qos.quota import QuotaScheme, RolloverScheme, scheme_by_name
 from repro.qos.static_alloc import StaticAllocator, symmetric_targets
-from repro.sim.engine import GPUSimulator, SharingPolicy
+from repro.sim.policy import PolicyContext, SharingPolicy
 
 #: Upper bound on the history-based scale factor.  Section 3.4.3 observes
 #: that "more aggressive alpha adjustment would benefit QoS kernels but not
@@ -57,16 +61,14 @@ class QoSPolicy(SharingPolicy):
         # performing above goal (matters at short simulation windows).
         self.recent_ipc: Dict[int, float] = {}
         self.allocator: StaticAllocator = None
-        self._last_retired: Dict[int, int] = {}
-        self._last_epoch_cycle = 0
         self._measured = False
         self._nonqos_share: List[Dict[int, float]] = []
         self._design_residency: List[set] = []
 
     # -------------------------------------------------------------- setup
 
-    def setup(self, engine: GPUSimulator) -> None:
-        for idx, launch in enumerate(engine.kernels):
+    def setup(self, ctx: PolicyContext) -> None:
+        for idx, launch in enumerate(ctx.kernels):
             if launch.is_qos:
                 self.qos_indices.append(idx)
                 self.goals[idx] = launch.ipc_goal
@@ -77,27 +79,26 @@ class QoSPolicy(SharingPolicy):
             self.ipc_history[idx] = 0.0
             self.epoch_ipc[idx] = INITIAL_NONQOS_IPC
             self.recent_ipc[idx] = 0.0
-            self._last_retired[idx] = 0
-        self.allocator = StaticAllocator(engine.config)
-        self._nonqos_share = [dict() for _ in range(engine.config.num_sms)]
+        self.allocator = StaticAllocator(ctx.config)
+        self._nonqos_share = [dict() for _ in range(ctx.num_sms)]
 
-        specs = [launch.spec for launch in engine.kernels]
-        targets = symmetric_targets(engine.config, self.qos_indices,
+        specs = [launch.spec for launch in ctx.kernels]
+        targets = symmetric_targets(ctx.config, self.qos_indices,
                                     self.nonqos_indices, specs)
         self._design_residency = [set(sm_targets) for sm_targets in targets]
         for sm_id, sm_targets in enumerate(targets):
-            for kernel_idx in range(engine.num_kernels):
-                engine.set_tb_target(sm_id, kernel_idx,
-                                     sm_targets.get(kernel_idx, 0))
+            for kernel_idx in range(ctx.num_kernels):
+                ctx.set_tb_target(sm_id, kernel_idx,
+                                  sm_targets.get(kernel_idx, 0))
 
     # -------------------------------------------------------------- epochs
 
-    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+    def on_epoch_start(self, ctx: PolicyContext, cycle: int,
                        epoch_index: int) -> None:
         if epoch_index == 0:
-            self._refresh_quotas(engine, first=True)
+            self._refresh_quotas(ctx, first=True)
             return
-        self._measure(engine, cycle)
+        self._measure(ctx)
         self._update_alphas()
         self._update_nonqos_goals()
         if self.static_adjustment:
@@ -107,26 +108,24 @@ class QoSPolicy(SharingPolicy):
             # the raw goal would stop growing it too early.
             alloc_goals = {idx: self.alphas[idx] * self.goals[idx]
                            for idx in self.qos_indices}
-            self.allocator.adjust(engine, self.qos_indices,
+            self.allocator.adjust(ctx, self.qos_indices,
                                   self.nonqos_indices, self.recent_ipc,
                                   alloc_goals, self._design_residency)
-        self._refresh_quotas(engine, first=False)
-        self._last_epoch_cycle = cycle
+        self._refresh_quotas(ctx, first=False)
 
-    def _measure(self, engine: GPUSimulator, cycle: int) -> None:
-        """Per-epoch and cumulative IPC for every kernel."""
-        epoch_cycles = max(1, cycle - self._last_epoch_cycle)
-        for idx, stats in enumerate(engine.kernel_stats):
-            retired = stats.retired_thread_insts
-            epoch_ipc = (retired - self._last_retired[idx]) / epoch_cycles
+    def _measure(self, ctx: PolicyContext) -> None:
+        """Per-epoch and cumulative IPC for every kernel, from the epoch
+        view the engine snapshots at each boundary."""
+        view = ctx.epoch
+        for idx in range(ctx.num_kernels):
+            epoch_ipc = view.epoch_ipc[idx]
             self.epoch_ipc[idx] = epoch_ipc
-            self.ipc_history[idx] = retired / max(1, cycle)
+            self.ipc_history[idx] = view.cumulative_ipc[idx]
             if self._measured:
                 self.recent_ipc[idx] = (0.5 * self.recent_ipc[idx]
                                         + 0.5 * epoch_ipc)
             else:
                 self.recent_ipc[idx] = epoch_ipc
-            self._last_retired[idx] = retired
         self._measured = True
 
     def _update_alphas(self) -> None:
@@ -152,14 +151,14 @@ class QoSPolicy(SharingPolicy):
 
     # -------------------------------------------------------------- quotas
 
-    def _kernel_quota(self, engine: GPUSimulator, kernel_idx: int) -> float:
+    def _kernel_quota(self, ctx: PolicyContext, kernel_idx: int) -> float:
         """Whole-GPU quota for the next epoch, in thread instructions."""
-        epoch_length = engine.config.epoch_length
+        epoch_length = ctx.config.epoch_length
         if kernel_idx in self.goals:
             return self.alphas[kernel_idx] * self.goals[kernel_idx] * epoch_length
         return self.nonqos_goals[kernel_idx] * epoch_length
 
-    def _refresh_quotas(self, engine: GPUSimulator, first: bool) -> None:
+    def _refresh_quotas(self, ctx: PolicyContext, first: bool) -> None:
         """Distribute quotas into per-SM counters, TB-proportionally.
 
         The scheme's carried residual is summed over all SMs and folded
@@ -168,56 +167,65 @@ class QoSPolicy(SharingPolicy):
         on an SM whose share exceeded its local capacity is thereby
         redistributed to SMs that can actually consume it next epoch.
         """
-        num_sms = engine.config.num_sms
+        num_sms = ctx.num_sms
         scheme = self.scheme
-        for kernel_idx in range(engine.num_kernels):
-            quota = self._kernel_quota(engine, kernel_idx)
+        for kernel_idx in range(ctx.num_kernels):
+            quota = self._kernel_quota(ctx, kernel_idx)
             is_qos = kernel_idx in self.goals
+            carried = 0.0
             if not first:
-                quota += sum(
-                    scheme.carry(sm.quota_counters[kernel_idx], is_qos)
-                    for sm in engine.sms)
-            total_tbs = engine.total_tbs(kernel_idx)
+                carried = sum(
+                    scheme.carry(ctx.quota_counter(sm_id, kernel_idx), is_qos)
+                    for sm_id in range(num_sms))
+                quota += carried
+            total_tbs = ctx.total_tbs(kernel_idx)
             blocked = (not is_qos) and scheme.blocks_nonqos_at_boundary
-            for sm in engine.sms:
+            for sm_id in range(num_sms):
+                tbs = ctx.tb_count(sm_id, kernel_idx)
                 if total_tbs > 0:
-                    share = quota * sm.tb_count[kernel_idx] / total_tbs
+                    share = quota * tbs / total_tbs
                 else:
                     share = quota / num_sms
                 if not is_qos:
-                    self._nonqos_share[sm.sm_id][kernel_idx] = max(share, 0.0)
-                sm.set_quota(kernel_idx, 0.0 if blocked else share)
-        for sm in engine.sms:
-            sm.wake_all()
+                    self._nonqos_share[sm_id][kernel_idx] = max(share, 0.0)
+                ctx.set_quota(sm_id, kernel_idx, 0.0 if blocked else share)
+            ctx.note_quota(kernel_idx, quota, carried,
+                           alpha=self.alphas.get(kernel_idx),
+                           ipc_goal=self.goals.get(
+                               kernel_idx, self.nonqos_goals.get(kernel_idx)))
+        ctx.wake_all()
 
     # ----------------------------------------------------- exhaustion hook
 
-    def on_quota_exhausted(self, engine: GPUSimulator, sm, kernel_idx: int,
-                           cycle: int) -> None:
+    def on_quota_exhausted(self, ctx: PolicyContext, sm_id: int,
+                           kernel_idx: int, cycle: int) -> None:
         if self.scheme.elastic:
-            if self._all_resident_exhausted(engine):
+            if self._all_resident_exhausted(ctx):
                 # Start the next epoch at once (Section 3.4.3); the engine
                 # processes the boundary at the top of the next cycle.
-                engine.next_epoch_at = cycle
+                ctx.request_epoch_at(cycle)
             return
         # Naïve-family mid-epoch refill: once every QoS kernel on this SM is
         # out of quota, top up the drained non-QoS kernels so the SM's spare
         # cycles are not wasted (Section 3.4.1).  QoS kernels never receive
         # more quota mid-epoch — their goal for this epoch has been met.
-        if not sm.all_exhausted(self._resident_qos(sm)):
+        if not ctx.all_quota_exhausted(sm_id, self._resident_qos(ctx, sm_id)):
             return
-        shares = self._nonqos_share[sm.sm_id]
+        shares = self._nonqos_share[sm_id]
         for nonqos_idx in self.nonqos_indices:
-            if sm.tb_count[nonqos_idx] > 0 and sm.quota_counters[nonqos_idx] <= 0:
-                sm.add_quota(nonqos_idx, max(shares.get(nonqos_idx, 0.0), 1.0))
+            if (ctx.tb_count(sm_id, nonqos_idx) > 0
+                    and ctx.quota_counter(sm_id, nonqos_idx) <= 0):
+                ctx.add_quota(sm_id, nonqos_idx,
+                              max(shares.get(nonqos_idx, 0.0), 1.0))
 
-    def _resident_qos(self, sm) -> List[int]:
-        return [idx for idx in self.qos_indices if sm.tb_count[idx] > 0]
+    def _resident_qos(self, ctx: PolicyContext, sm_id: int) -> List[int]:
+        return [idx for idx in self.qos_indices
+                if ctx.tb_count(sm_id, idx) > 0]
 
-    def _all_resident_exhausted(self, engine: GPUSimulator) -> bool:
-        for sm in engine.sms:
-            counters = sm.quota_counters
-            for kernel_idx in range(engine.num_kernels):
-                if sm.tb_count[kernel_idx] > 0 and counters[kernel_idx] > 0:
+    def _all_resident_exhausted(self, ctx: PolicyContext) -> bool:
+        for sm_id in range(ctx.num_sms):
+            for kernel_idx in range(ctx.num_kernels):
+                if (ctx.tb_count(sm_id, kernel_idx) > 0
+                        and ctx.quota_counter(sm_id, kernel_idx) > 0):
                     return False
         return True

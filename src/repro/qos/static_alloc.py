@@ -10,6 +10,10 @@ Two pieces:
   that is below goal and out of idle TBs receives one more TB, evicting TBs
   of a victim kernel chosen by the paper's three rules.  Swaps are skipped
   while any preemption is pending, bounding the context-switch overhead.
+
+The allocator observes and actuates exclusively through
+:class:`repro.sim.policy.PolicyContext` (occupancy, idle-warp samples, free
+resources, preemption state; TB targets and preemption requests).
 """
 
 from __future__ import annotations
@@ -18,6 +22,7 @@ import math
 from typing import Dict, List, Optional, Sequence
 
 from repro.config import GPUConfig
+from repro.sim.policy import PolicyContext
 
 #: Section 3.6: a kernel with more than this many idle TBs has TLP to spare.
 IDLE_TB_SLACK = 1
@@ -108,7 +113,7 @@ class StaticAllocator:
 
     # ----------------------------------------------------------- main entry
 
-    def adjust(self, engine, qos_indices: Sequence[int],
+    def adjust(self, ctx: PolicyContext, qos_indices: Sequence[int],
                nonqos_indices: Sequence[int],
                ipc_history: Dict[int, float],
                ipc_goals: Dict[int, float],
@@ -122,25 +127,25 @@ class StaticAllocator:
         into genuinely free resources.
         """
         if residency is None:
-            residency = [set(range(engine.num_kernels))
-                         for _ in range(engine.config.num_sms)]
-        swaps_allowed = not engine.preemption.has_pending
-        for sm in engine.sms:
-            resident = residency[sm.sm_id]
-            if self._grant_to_lagging_qos(engine, sm, qos_indices,
+            residency = [set(range(ctx.num_kernels))
+                         for _ in range(ctx.num_sms)]
+        swaps_allowed = not ctx.preemption_pending
+        for sm_id in range(ctx.num_sms):
+            resident = residency[sm_id]
+            if self._grant_to_lagging_qos(ctx, sm_id, qos_indices,
                                           nonqos_indices, ipc_history,
                                           ipc_goals, swaps_allowed, resident):
                 continue
-            if self._grow_into_free(engine, sm, nonqos_indices, resident):
+            if self._grow_into_free(ctx, sm_id, nonqos_indices, resident):
                 continue
             if swaps_allowed:
-                self._reclaim_for_nonqos(engine, sm, qos_indices,
+                self._reclaim_for_nonqos(ctx, sm_id, qos_indices,
                                          nonqos_indices, ipc_history,
                                          ipc_goals, resident)
 
     # ------------------------------------------------------------- qos path
 
-    def _grant_to_lagging_qos(self, engine, sm, qos_indices, nonqos_indices,
+    def _grant_to_lagging_qos(self, ctx, sm_id, qos_indices, nonqos_indices,
                               ipc_history, ipc_goals, swaps_allowed,
                               resident) -> bool:
         for kernel_idx in qos_indices:
@@ -149,44 +154,42 @@ class StaticAllocator:
                 continue
             if kernel_idx not in resident:
                 continue  # kernel not placed on this SM by design
-            target = engine.tb_targets[sm.sm_id][kernel_idx]
-            live = sm.tb_count[kernel_idx]
-            if self._idle_tbs(sm, kernel_idx) > IDLE_TB_SLACK:
+            target = ctx.tb_target(sm_id, kernel_idx)
+            live = ctx.tb_count(sm_id, kernel_idx)
+            if self._idle_tbs(ctx, sm_id, kernel_idx) > IDLE_TB_SLACK:
                 continue  # has TLP to spare; more TBs would not help
-            spec = engine.kernels[kernel_idx].spec
+            spec = ctx.kernels[kernel_idx].spec
             if spec.max_tbs_per_sm(self.config.sm) <= live:
                 continue
-            if live >= target and sm.resources.can_admit(spec):
-                self._raise_target(engine, sm, kernel_idx)
+            if live >= target and ctx.can_admit(sm_id, kernel_idx):
+                self._raise_target(ctx, sm_id, kernel_idx)
                 return True
             if not swaps_allowed:
                 continue
             # Either the target itself needs room (live < target) or the
             # target must grow by one; both require evicting a victim.
-            victim = self._choose_victim(engine, sm, kernel_idx, qos_indices,
+            victim = self._choose_victim(ctx, sm_id, kernel_idx, qos_indices,
                                          nonqos_indices, ipc_history, ipc_goals)
             if victim is None:
                 continue
             victim_idx, evict_count = victim
-            victim_live = sm.tb_count[victim_idx]
             # Lower the victim target below its live count so the engine
             # actually context-switches TBs out (not just stops refilling).
-            engine.set_tb_target(sm.sm_id, victim_idx,
-                                 max(0, victim_live - evict_count))
+            ctx.request_preemption(sm_id, victim_idx, evict_count)
             self.evictions_requested += evict_count
             if live >= target:
-                self._raise_target(engine, sm, kernel_idx)
+                self._raise_target(ctx, sm_id, kernel_idx)
             return True
         return False
 
-    def _raise_target(self, engine, sm, kernel_idx) -> None:
-        current = engine.tb_targets[sm.sm_id][kernel_idx]
-        engine.set_tb_target(sm.sm_id, kernel_idx, current + 1)
+    def _raise_target(self, ctx, sm_id, kernel_idx) -> None:
+        current = ctx.tb_target(sm_id, kernel_idx)
+        ctx.set_tb_target(sm_id, kernel_idx, current + 1)
         self.grants += 1
 
     # ------------------------------------------------------- victim choice
 
-    def _choose_victim(self, engine, sm, beneficiary_idx, qos_indices,
+    def _choose_victim(self, ctx, sm_id, beneficiary_idx, qos_indices,
                        nonqos_indices, ipc_history, ipc_goals):
         """Pick (victim kernel, TBs to evict) per the Section 3.6 rules.
 
@@ -195,23 +198,23 @@ class StaticAllocator:
         IPC_history x (1 - n/N) > IPC_goal.  Non-QoS victims are preferred
         (the one with the most TBs on this SM); QoS victims by margin.
         """
-        spec = engine.kernels[beneficiary_idx].spec
+        spec = ctx.kernels[beneficiary_idx].spec
         candidates = []
         for victim_idx in list(nonqos_indices) + list(qos_indices):
             if victim_idx == beneficiary_idx:
                 continue
-            live = sm.tb_count[victim_idx]
+            live = ctx.tb_count(sm_id, victim_idx)
             if live == 0:
                 continue
-            needed = self._tbs_to_vacate(engine, sm, spec, victim_idx)
+            needed = self._tbs_to_vacate(ctx, sm_id, spec, victim_idx)
             if needed is None or needed > live:
                 continue
             if victim_idx in nonqos_indices:
                 candidates.append((0, -live, victim_idx, needed))
                 continue
-            idle_tbs = self._idle_tbs(sm, victim_idx)
+            idle_tbs = self._idle_tbs(ctx, sm_id, victim_idx)
             history = ipc_history.get(victim_idx, 0.0)
-            total_tbs = engine.total_tbs(victim_idx)
+            total_tbs = ctx.total_tbs(victim_idx)
             margin_ok = (total_tbs > 0 and
                          history * (1 - needed / total_tbs) > ipc_goals[victim_idx])
             if idle_tbs >= needed + 1 or margin_ok:
@@ -223,19 +226,12 @@ class StaticAllocator:
         _tier, _key, victim_idx, needed = candidates[0]
         return victim_idx, needed
 
-    def _tbs_to_vacate(self, engine, sm, spec, victim_idx) -> Optional[int]:
+    def _tbs_to_vacate(self, ctx, sm_id, spec, victim_idx) -> Optional[int]:
         """How many victim TBs free enough resources for one TB of ``spec``."""
-        victim_spec = engine.kernels[victim_idx].spec
+        victim_spec = ctx.kernels[victim_idx].spec
         demand = spec.resource_vector()
         per_victim_tb = victim_spec.resource_vector()
-        resources = sm.resources
-        cfg = resources.config
-        free = {
-            "registers_bytes": cfg.registers_bytes - resources.registers_bytes,
-            "shared_memory_bytes": cfg.shared_memory_bytes - resources.shared_memory_bytes,
-            "threads": cfg.max_threads - resources.threads,
-            "tbs": cfg.max_tbs - resources.tbs,
-        }
+        free = ctx.free_resources(sm_id)
         needed = 0
         for key, amount in demand.items():
             shortfall = amount - free[key]
@@ -249,12 +245,12 @@ class StaticAllocator:
 
     # -------------------------------------------------------------- helpers
 
-    def _idle_tbs(self, sm, kernel_idx) -> float:
+    def _idle_tbs(self, ctx, sm_id, kernel_idx) -> float:
         """Mean idle warps expressed in TBs (Section 3.6's idle-TB measure)."""
-        warps_per_tb = sm.runtimes[kernel_idx].warps_per_tb
-        return sm.mean_idle_warps(kernel_idx) / warps_per_tb
+        warps_per_tb = ctx.warps_per_tb(kernel_idx)
+        return ctx.mean_idle_warps(sm_id, kernel_idx) / warps_per_tb
 
-    def _grow_into_free(self, engine, sm, nonqos_indices, resident) -> bool:
+    def _grow_into_free(self, ctx, sm_id, nonqos_indices, resident) -> bool:
         """Let a non-QoS kernel take one more TB if resources are just free.
 
         This keeps the machine full without touching anyone else; growth by
@@ -264,19 +260,18 @@ class StaticAllocator:
         for kernel_idx in nonqos_indices:
             if kernel_idx not in resident:
                 continue
-            if sm.tb_count[kernel_idx] < engine.tb_targets[sm.sm_id][kernel_idx]:
+            if ctx.tb_count(sm_id, kernel_idx) < ctx.tb_target(sm_id, kernel_idx):
                 continue
-            if (sm.tb_count[kernel_idx] > 0
-                    and self._idle_tbs(sm, kernel_idx) > IDLE_TB_SLACK):
+            if (ctx.tb_count(sm_id, kernel_idx) > 0
+                    and self._idle_tbs(ctx, sm_id, kernel_idx) > IDLE_TB_SLACK):
                 continue
-            spec = engine.kernels[kernel_idx].spec
-            if not sm.resources.can_admit(spec):
+            if not ctx.can_admit(sm_id, kernel_idx):
                 continue
-            self._raise_target(engine, sm, kernel_idx)
+            self._raise_target(ctx, sm_id, kernel_idx)
             return True
         return False
 
-    def _reclaim_for_nonqos(self, engine, sm, qos_indices, nonqos_indices,
+    def _reclaim_for_nonqos(self, ctx, sm_id, qos_indices, nonqos_indices,
                             ipc_history, ipc_goals, resident) -> None:
         """Return a TB from an over-achieving QoS kernel to the non-QoS side.
 
@@ -290,36 +285,36 @@ class StaticAllocator:
         for kernel_idx in nonqos_indices:
             if kernel_idx not in resident:
                 continue
-            if sm.tb_count[kernel_idx] < engine.tb_targets[sm.sm_id][kernel_idx]:
+            if ctx.tb_count(sm_id, kernel_idx) < ctx.tb_target(sm_id, kernel_idx):
                 return  # a previous reclaim is still materialising
-            if (sm.tb_count[kernel_idx] == 0
-                    or self._idle_tbs(sm, kernel_idx) <= IDLE_TB_SLACK):
+            if (ctx.tb_count(sm_id, kernel_idx) == 0
+                    or self._idle_tbs(ctx, sm_id, kernel_idx) <= IDLE_TB_SLACK):
                 receiver = kernel_idx
                 break
         if receiver is None:
             return
         for donor_idx in qos_indices:
-            live = sm.tb_count[donor_idx]
+            live = ctx.tb_count(sm_id, donor_idx)
             if live <= 1:
                 continue
-            total = engine.total_tbs(donor_idx)
+            total = ctx.total_tbs(donor_idx)
             history = ipc_history.get(donor_idx, 0.0)
             if history < ipc_goals[donor_idx]:
                 continue  # never take TBs from a kernel still catching up
-            needed = self._tbs_to_vacate(engine, sm,
-                                         engine.kernels[receiver].spec,
+            needed = self._tbs_to_vacate(ctx, sm_id,
+                                         ctx.kernels[receiver].spec,
                                          donor_idx)
             if needed is None or needed >= live:
                 continue
             # Donor eligibility mirrors the Section 3.6 victim rules with
             # hysteresis: enough idle TBs that losing `needed` leaves slack
             # (rule 2), or enough IPC margin to absorb the loss (rule 3).
-            idle_slack = self._idle_tbs(sm, donor_idx) >= needed + 2
+            idle_slack = self._idle_tbs(ctx, sm_id, donor_idx) >= needed + 2
             predicted = history * (1 - needed / max(1, total))
             margin = predicted > ipc_goals[donor_idx] * RECLAIM_MARGIN
             if not (idle_slack or margin):
                 continue
-            engine.set_tb_target(sm.sm_id, donor_idx, live - needed)
+            ctx.request_preemption(sm_id, donor_idx, needed)
             self.evictions_requested += needed
-            self._raise_target(engine, sm, receiver)
+            self._raise_target(ctx, sm_id, receiver)
             return

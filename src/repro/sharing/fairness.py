@@ -18,9 +18,9 @@ input, exactly as [42]'s dynamic partitioning does.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
-from repro.sim.engine import GPUSimulator, SharingPolicy
+from repro.sim.policy import PolicyContext, SharingPolicy
 
 #: Minimum slowdown gap before TBs are moved (hysteresis against thrash).
 FAIRNESS_GAP = 0.08
@@ -41,42 +41,36 @@ class FairSMKPolicy(SharingPolicy):
         self.isolated_ipc = dict(isolated_ipc)
         self.slowdowns: Dict[int, float] = {}
         self.moves = 0
-        self._last_retired: List[int] = []
-        self._last_cycle = 0
 
     # -------------------------------------------------------------- lifecycle
 
-    def setup(self, engine: GPUSimulator) -> None:
-        for launch in engine.kernels:
+    def setup(self, ctx: PolicyContext) -> None:
+        for launch in ctx.kernels:
             if launch.spec.name not in self.isolated_ipc:
                 raise ValueError(
                     f"no isolated IPC provided for kernel {launch.spec.name!r}")
-        self._last_retired = [0] * engine.num_kernels
         # Start from an even split of each SM's thread budget.
-        share = engine.config.sm.max_threads // engine.num_kernels
-        for sm_id in range(engine.config.num_sms):
-            for kernel_idx, launch in enumerate(engine.kernels):
+        share = ctx.config.sm.max_threads // ctx.num_kernels
+        for sm_id in range(ctx.num_sms):
+            for kernel_idx, launch in enumerate(ctx.kernels):
                 target = max(1, share // launch.spec.threads_per_tb)
-                engine.set_tb_target(sm_id, kernel_idx, target)
+                ctx.set_tb_target(sm_id, kernel_idx, target)
 
-    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+    def on_epoch_start(self, ctx: PolicyContext, cycle: int,
                        epoch_index: int) -> None:
         if epoch_index == 0:
             return
-        epoch_cycles = max(1, cycle - self._last_cycle)
-        for idx, stats in enumerate(engine.kernel_stats):
-            delta = stats.retired_thread_insts - self._last_retired[idx]
-            ipc = delta / epoch_cycles
-            name = engine.kernels[idx].spec.name
-            self.slowdowns[idx] = ipc / self.isolated_ipc[name]
-            self._last_retired[idx] = stats.retired_thread_insts
-        self._last_cycle = cycle
-        if engine.num_kernels > 1 and not engine.preemption.has_pending:
-            self._rebalance(engine)
+        view = ctx.epoch
+        for idx in range(ctx.num_kernels):
+            name = ctx.kernels[idx].spec.name
+            self.slowdowns[idx] = (view.epoch_ipc[idx]
+                                   / self.isolated_ipc[name])
+        if ctx.num_kernels > 1 and not ctx.preemption_pending:
+            self._rebalance(ctx)
 
     # ------------------------------------------------------------- balancing
 
-    def _rebalance(self, engine: GPUSimulator) -> None:
+    def _rebalance(self, ctx: PolicyContext) -> None:
         """Move one TB per SM from the least to the most slowed kernel."""
         fastest = max(self.slowdowns, key=self.slowdowns.get)
         slowest = min(self.slowdowns, key=self.slowdowns.get)
@@ -85,13 +79,12 @@ class FairSMKPolicy(SharingPolicy):
         gap = self.slowdowns[fastest] - self.slowdowns[slowest]
         if gap < FAIRNESS_GAP:
             return
-        for sm in engine.sms:
-            if sm.tb_count[fastest] <= 1:
+        for sm_id in range(ctx.num_sms):
+            if ctx.tb_count(sm_id, fastest) <= 1:
                 continue
-            engine.set_tb_target(sm.sm_id, fastest,
-                                 sm.tb_count[fastest] - 1)
-            engine.set_tb_target(sm.sm_id, slowest,
-                                 engine.tb_targets[sm.sm_id][slowest] + 1)
+            ctx.request_preemption(sm_id, fastest, 1)
+            ctx.set_tb_target(sm_id, slowest,
+                              ctx.tb_target(sm_id, slowest) + 1)
             self.moves += 1
             return  # one move per epoch: hill-climbing pace
 

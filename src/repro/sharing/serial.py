@@ -13,7 +13,7 @@ without quota machinery — only the coarsest control over progress rates.
 
 from __future__ import annotations
 
-from repro.sim.engine import GPUSimulator, SharingPolicy
+from repro.sim.policy import PolicyContext, SharingPolicy
 
 
 class SerialPolicy(SharingPolicy):
@@ -29,24 +29,24 @@ class SerialPolicy(SharingPolicy):
         self.current = 0
         self.switches = 0
 
-    def setup(self, engine: GPUSimulator) -> None:
-        self._own_gpu(engine, self.current)
+    def setup(self, ctx: PolicyContext) -> None:
+        self._own_gpu(ctx, self.current)
 
-    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+    def on_epoch_start(self, ctx: PolicyContext, cycle: int,
                        epoch_index: int) -> None:
-        if epoch_index == 0 or engine.num_kernels == 1:
+        if epoch_index == 0 or ctx.num_kernels == 1:
             return
         if epoch_index % self.slice_epochs != 0:
             return
-        if engine.preemption.has_pending:
+        if ctx.preemption_pending:
             return  # let the previous switch drain before the next
-        self.current = (self.current + 1) % engine.num_kernels
-        self._own_gpu(engine, self.current)
+        self.current = (self.current + 1) % ctx.num_kernels
+        self._own_gpu(ctx, self.current)
         self.switches += 1
 
-    def _own_gpu(self, engine: GPUSimulator, owner: int) -> None:
-        max_tbs = engine.config.sm.max_tbs
-        for sm_id in range(engine.config.num_sms):
-            for kernel_idx in range(engine.num_kernels):
+    def _own_gpu(self, ctx: PolicyContext, owner: int) -> None:
+        max_tbs = ctx.config.sm.max_tbs
+        for sm_id in range(ctx.num_sms):
+            for kernel_idx in range(ctx.num_kernels):
                 target = max_tbs if kernel_idx == owner else 0
-                engine.set_tb_target(sm_id, kernel_idx, target)
+                ctx.set_tb_target(sm_id, kernel_idx, target)

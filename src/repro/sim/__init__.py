@@ -7,10 +7,14 @@ controllers, TB dispatch with full static-resource accounting, and a
 preemption engine implementing partial context switch so that per-SM kernel
 residency can be changed at run time (Simultaneous Multikernel sharing).
 
-The QoS mechanisms of the paper plug in as a :class:`SharingPolicy`:
-the policy owns per-SM quota counters (read by the Enhanced Warp Scheduler
-filter inside each SM), receives epoch callbacks, and steers TB residency
-targets that the engine realises through dispatch and preemption.
+The QoS mechanisms of the paper plug in as a :class:`SharingPolicy`
+(defined in :mod:`repro.sim.policy`): the policy owns per-SM quota counters
+(read by the Enhanced Warp Scheduler filter inside each SM), receives epoch
+callbacks carrying a :class:`PolicyContext` — the typed observation and
+actuation façade — and steers TB residency targets that the engine realises
+through dispatch and preemption.  An optional
+:class:`~repro.sim.telemetry.TelemetryRecorder` turns every epoch into a
+typed :class:`~repro.sim.telemetry.EpochRecord`.
 """
 
 from repro.sim.cache import Cache
@@ -21,7 +25,10 @@ from repro.sim.scheduler import (GTOScheduler, LRRScheduler,
                                  make_scheduler)
 from repro.sim.tb import SMResources, ThreadBlock
 from repro.sim.stats import KernelStats, SimulationResult
-from repro.sim.engine import GPUSimulator, LaunchedKernel, SharingPolicy
+from repro.sim.policy import EpochView, PolicyContext, SharingPolicy
+from repro.sim.telemetry import (EpochRecord, KernelEpochRecord, TBMove,
+                                 TelemetryRecorder)
+from repro.sim.engine import GPUSimulator, LaunchedKernel
 
 __all__ = [
     "Cache",
@@ -37,7 +44,13 @@ __all__ = [
     "ThreadBlock",
     "KernelStats",
     "SimulationResult",
+    "EpochView",
+    "PolicyContext",
+    "SharingPolicy",
+    "EpochRecord",
+    "KernelEpochRecord",
+    "TBMove",
+    "TelemetryRecorder",
     "GPUSimulator",
     "LaunchedKernel",
-    "SharingPolicy",
 ]

@@ -1,28 +1,40 @@
-"""The top-level GPU simulator and the sharing-policy plug-in interface.
+"""The top-level GPU simulator.
 
 :class:`GPUSimulator` owns the machine (SMs, memory, preemption engine) and
-the launched kernels; a :class:`SharingPolicy` owns the *decisions*: initial
-TB residency targets, per-epoch quota refresh, and run-time TB reallocation.
+the launched kernels; a :class:`~repro.sim.policy.SharingPolicy` owns the
+*decisions*: initial TB residency targets, per-epoch quota refresh, and
+run-time TB reallocation.  Policies never see the engine — each hook
+receives the engine's :class:`~repro.sim.policy.PolicyContext` (``self.ctx``),
+the typed observation/actuation façade defined in :mod:`repro.sim.policy`.
 The engine realises residency targets through dispatch and partial context
 switch, fires epoch and quota-exhaustion callbacks, and accounts statistics.
 
 Epochs default to ``config.epoch_length`` cycles, but a policy may pull the
-next boundary forward by writing ``engine.next_epoch_at`` (Elastic Epoch,
+next boundary forward via ``ctx.request_epoch_at`` (Elastic Epoch,
 Section 3.4.3).
+
+Passing a :class:`~repro.sim.telemetry.TelemetryRecorder` makes the engine
+emit one typed :class:`~repro.sim.telemetry.EpochRecord` per epoch (see
+:mod:`repro.sim.telemetry`); recording is purely observational and is off
+by default.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.config import GPUConfig
 from repro.kernels.spec import KernelSpec
 from repro.sim.kernel_runtime import KernelRuntime
 from repro.sim.memory import MemorySubsystem
+from repro.sim.policy import PolicyContext, SharingPolicy
 from repro.sim.preemption import PreemptionEngine
 from repro.sim.sm import SM
 from repro.sim.stats import KernelResult, KernelStats, SimulationResult
+from repro.sim.telemetry import EpochRecord, TelemetryRecorder
+
+__all__ = ["GPUSimulator", "LaunchedKernel", "SharingPolicy"]
 
 _FOREVER = 1 << 62
 
@@ -46,37 +58,12 @@ class LaunchedKernel:
             raise ValueError(f"QoS kernel {self.spec.name} needs a positive ipc_goal")
 
 
-class SharingPolicy:
-    """Base sharing policy: fill every SM with every kernel, no QoS.
-
-    Subclasses (the paper's QoS manager, Spart, serial execution) override
-    the three hooks.  ``uses_quotas`` switches the Enhanced Warp Scheduler
-    filter on in every SM.
-    """
-
-    name = "smk-unmanaged"
-    uses_quotas = False
-
-    def setup(self, engine: "GPUSimulator") -> None:
-        """Set initial TB residency targets (default: greedy fill)."""
-        for sm_id in range(engine.config.num_sms):
-            for kernel_idx in range(engine.num_kernels):
-                engine.tb_targets[sm_id][kernel_idx] = engine.config.sm.max_tbs
-
-    def on_epoch_start(self, engine: "GPUSimulator", cycle: int,
-                       epoch_index: int) -> None:
-        """Called at every epoch boundary (including epoch 0 at setup)."""
-
-    def on_quota_exhausted(self, engine: "GPUSimulator", sm: SM,
-                           kernel_idx: int, cycle: int) -> None:
-        """Called when a kernel's local quota counter crosses zero."""
-
-
 class GPUSimulator:
     """Cycle-level simulator of one GPU shared by ``kernels``."""
 
     def __init__(self, config: GPUConfig, kernels: List[LaunchedKernel],
-                 policy: Optional[SharingPolicy] = None):
+                 policy: Optional[SharingPolicy] = None,
+                 telemetry: Optional[TelemetryRecorder] = None):
         if not kernels:
             raise ValueError("at least one kernel must be launched")
         names = [k.spec.name for k in kernels]
@@ -108,6 +95,13 @@ class GPUSimulator:
             [0] * self.num_kernels for _ in range(config.num_sms)
         ]
         self._next_tb_id = [0] * self.num_kernels
+        self.ctx = PolicyContext(self)
+        self.telemetry = telemetry
+        # Busy-trajectory counters backing the telemetry sleep-skip fields:
+        # (SM, cycle) pairs / whole-GPU cycles with at least one issue.
+        # Derived idle figures are core-independent, unlike raw skip counts.
+        self._tel_busy_sm_cycles = 0
+        self._tel_busy_gpu_cycles = 0
         self.cycle = 0
         self.epoch_index = 0
         self.next_epoch_at = config.epoch_length
@@ -132,11 +126,13 @@ class GPUSimulator:
         # _configured stays False during policy.setup so that target-setting
         # does not dispatch eagerly: the balanced round-robin fill below only
         # runs once every kernel's targets are in place.
-        self.policy.setup(self)
+        self.policy.setup(self.ctx)
         self._configured = True
         for sm in self.sms:
             self._dispatch_sm(sm, 0)
-        self.policy.on_epoch_start(self, 0, 0)
+        if self.telemetry is not None:
+            self.telemetry.open_epoch(0, 0)
+        self.policy.on_epoch_start(self.ctx, 0, 0)
 
     def run(self, num_cycles: int) -> None:
         """Advance the machine by ``num_cycles`` cycles.
@@ -157,6 +153,7 @@ class GPUSimulator:
         sms = self.sms
         preemption = self.preemption
         sample_interval = self.sample_interval
+        tel_on = self.telemetry is not None
         while self.cycle < end_cycle:
             cycle = self.cycle
             next_done = preemption.next_completion
@@ -180,12 +177,29 @@ class GPUSimulator:
             # an SM later in the list, exactly as the scan core would see.
             # (Inlined wake_hint fast path: this comparison runs per SM per
             # cycle, so the clean-cache case avoids a method call.)
-            for sm in sms:
-                hint = sm._wake_min if not sm._wake_dirty else sm.wake_hint()
-                if hint <= cycle:
-                    issued += sm.step(cycle, sample)
-                elif sample:
-                    sm.sample_idle(cycle)
+            if tel_on:
+                busy = 0
+                for sm in sms:
+                    hint = (sm._wake_min if not sm._wake_dirty
+                            else sm.wake_hint())
+                    if hint <= cycle:
+                        n = sm.step(cycle, sample)
+                        if n:
+                            issued += n
+                            busy += 1
+                    elif sample:
+                        sm.sample_idle(cycle)
+                if busy:
+                    self._tel_busy_sm_cycles += busy
+                    self._tel_busy_gpu_cycles += 1
+            else:
+                for sm in sms:
+                    hint = (sm._wake_min if not sm._wake_dirty
+                            else sm.wake_hint())
+                    if hint <= cycle:
+                        issued += sm.step(cycle, sample)
+                    elif sample:
+                        sm.sample_idle(cycle)
             self.cycle = cycle + 1
             if issued == 0:
                 self._skip_idle(end_cycle)
@@ -195,6 +209,7 @@ class GPUSimulator:
         sms = self.sms
         preemption = self.preemption
         sample_interval = self.sample_interval
+        tel_on = self.telemetry is not None
         while self.cycle < end_cycle:
             cycle = self.cycle
             next_done = preemption.next_completion
@@ -209,13 +224,29 @@ class GPUSimulator:
                 missed = (cycle - self.next_sample_at) // sample_interval
                 self.next_sample_at += (missed + 1) * sample_interval
             issued = 0
-            for sm in sms:
-                issued += sm.step(cycle, sample)
+            if tel_on:
+                busy = 0
+                for sm in sms:
+                    n = sm.step(cycle, sample)
+                    if n:
+                        issued += n
+                        busy += 1
+                if busy:
+                    self._tel_busy_sm_cycles += busy
+                    self._tel_busy_gpu_cycles += 1
+            else:
+                for sm in sms:
+                    issued += sm.step(cycle, sample)
             self.cycle = cycle + 1
             if issued == 0:
                 self._skip_idle(end_cycle)
 
     def _begin_epoch(self, cycle: int) -> None:
+        # The context advances first so the policy hook (and the telemetry
+        # flush) see the closing epoch's measurement snapshot; telemetry
+        # closes before the hook runs so residual quota counters are
+        # captured pre-refresh.
+        view = self.ctx._advance_epoch(cycle)
         self.epoch_index += 1
         self.next_epoch_at = cycle + self.config.epoch_length
         # Re-anchor the sampling grid to the epoch boundary so every epoch
@@ -224,9 +255,52 @@ class GPUSimulator:
         # itself is a grid point: the run loop samples it right after the
         # epoch's counters reset.
         self.next_sample_at = cycle
-        self.policy.on_epoch_start(self, cycle, self.epoch_index)
+        tel = self.telemetry
+        if tel is not None:
+            self._flush_telemetry_epoch(tel, view, cycle)
+            tel.open_epoch(self.epoch_index, cycle)
+        self.policy.on_epoch_start(self.ctx, cycle, self.epoch_index)
         for sm in self.sms:
             sm.reset_epoch_sampling()
+
+    def _flush_telemetry_epoch(self, tel: TelemetryRecorder, view,
+                               cycle: int) -> None:
+        """Close the telemetry epoch that ends at ``cycle``."""
+        span = cycle - tel._start_cycle
+        residual = tuple(
+            sum(sm.quota_counters[idx] for sm in self.sms)
+            for idx in range(self.num_kernels))
+        total = tuple(self.total_tbs(idx)
+                      for idx in range(self.num_kernels))
+        tel.close_epoch(
+            end_cycle=cycle,
+            names=tuple(k.spec.name for k in self.kernels),
+            retired=view.retired_delta,
+            epoch_ipc=view.epoch_ipc,
+            cumulative_ipc=view.cumulative_ipc,
+            total_tbs=total,
+            quota_residual=residual,
+            sleep_skipped_sm_cycles=(self.config.num_sms * span
+                                     - self._tel_busy_sm_cycles),
+            idle_jump_cycles=span - self._tel_busy_gpu_cycles,
+            pending_preemptions=self.preemption.pending_count)
+        self._tel_busy_sm_cycles = 0
+        self._tel_busy_gpu_cycles = 0
+
+    def finalize_telemetry(self) -> Tuple[EpochRecord, ...]:
+        """Flush the trailing partial epoch and return the record stream.
+
+        Idempotent; returns ``()`` when no recorder is attached.
+        """
+        tel = self.telemetry
+        if tel is None:
+            return ()
+        if not tel.finalized:
+            tel.finalized = True
+            if self.cycle > self.ctx._last_cycle:
+                view = self.ctx._advance_epoch(self.cycle)
+                self._flush_telemetry_epoch(tel, view, self.cycle)
+        return tuple(tel.records)
 
     def _sm_wake_changed(self) -> None:
         self._sm_wake_dirty = True
@@ -279,7 +353,11 @@ class GPUSimulator:
     def evict_tb(self, sm: SM, tb) -> int:
         """Begin a TB's partial context switch, keeping live counts exact."""
         sm.note_eviction_begin(tb)
-        return self.preemption.begin_eviction(sm, tb, self.cycle)
+        done = self.preemption.begin_eviction(sm, tb, self.cycle)
+        if self.telemetry is not None:
+            self.telemetry.note_tb_move(self.cycle, sm.sm_id, tb.kernel_idx,
+                                        done - self.cycle)
+        return done
 
     def _live_tbs(self, sm: SM, kernel_idx: int) -> int:
         return sm.live_tb_count[kernel_idx]
@@ -327,7 +405,7 @@ class GPUSimulator:
         self._dispatch_sm(sm, cycle)
 
     def _on_quota_exhausted(self, sm: SM, kernel_idx: int, cycle: int) -> None:
-        self.policy.on_quota_exhausted(self, sm, kernel_idx, cycle)
+        self.policy.on_quota_exhausted(self.ctx, sm.sm_id, kernel_idx, cycle)
 
     # ----------------------------------------------------------------- output
 

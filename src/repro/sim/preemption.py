@@ -51,6 +51,10 @@ class PreemptionEngine:
         return bool(self._heap)
 
     @property
+    def pending_count(self) -> int:
+        return len(self._heap)
+
+    @property
     def next_completion(self) -> Optional[int]:
         return self._heap[0][0] if self._heap else None
 

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from repro.sim.engine import GPUSimulator, SharingPolicy
+from repro.sim.policy import PolicyContext, SharingPolicy
 
 
 @dataclass(frozen=True)
@@ -28,13 +28,16 @@ class TraceRecorder(SharingPolicy):
     policy, so ``quota_remaining`` shows the residual counters the scheme's
     refresh rule is about to act on (the quantities in Figure 4), and
     ``epoch_ipc`` covers the epoch that just ended.
+
+    For the engine-emitted, serialisable equivalent see
+    :mod:`repro.sim.telemetry` — this wrapper remains for in-process figure
+    scripts that want policy-internal extras (alphas, non-QoS goals) keyed
+    by kernel index.
     """
 
     def __init__(self, inner: SharingPolicy):
         self.inner = inner
         self.samples: List[EpochSample] = []
-        self._last_retired: List[int] = []
-        self._last_cycle = 0
 
     @property
     def uses_quotas(self) -> bool:
@@ -44,40 +47,32 @@ class TraceRecorder(SharingPolicy):
     def name(self) -> str:
         return f"traced-{self.inner.name}"
 
-    def setup(self, engine: GPUSimulator) -> None:
-        self._last_retired = [0] * engine.num_kernels
-        self.inner.setup(engine)
+    def setup(self, ctx: PolicyContext) -> None:
+        self.inner.setup(ctx)
 
-    def on_epoch_start(self, engine: GPUSimulator, cycle: int,
+    def on_epoch_start(self, ctx: PolicyContext, cycle: int,
                        epoch_index: int) -> None:
         if epoch_index > 0:
-            self.samples.append(self._sample(engine, cycle, epoch_index))
-        self.inner.on_epoch_start(engine, cycle, epoch_index)
+            self.samples.append(self._sample(ctx, cycle, epoch_index))
+        self.inner.on_epoch_start(ctx, cycle, epoch_index)
 
-    def on_quota_exhausted(self, engine: GPUSimulator, sm, kernel_idx: int,
-                           cycle: int) -> None:
-        self.inner.on_quota_exhausted(engine, sm, kernel_idx, cycle)
+    def on_quota_exhausted(self, ctx: PolicyContext, sm_id: int,
+                           kernel_idx: int, cycle: int) -> None:
+        self.inner.on_quota_exhausted(ctx, sm_id, kernel_idx, cycle)
 
     # ------------------------------------------------------------- sampling
 
-    def _sample(self, engine: GPUSimulator, cycle: int,
+    def _sample(self, ctx: PolicyContext, cycle: int,
                 epoch_index: int) -> EpochSample:
-        epoch_cycles = max(1, cycle - self._last_cycle)
-        ipc = []
-        for idx, stats in enumerate(engine.kernel_stats):
-            retired = stats.retired_thread_insts
-            ipc.append((retired - self._last_retired[idx]) / epoch_cycles)
-            self._last_retired[idx] = retired
-        self._last_cycle = cycle
-        quotas = tuple(
-            sum(sm.quota_counters[idx] for sm in engine.sms)
-            for idx in range(engine.num_kernels))
+        view = ctx.epoch
+        quotas = tuple(ctx.quota_residual(idx)
+                       for idx in range(ctx.num_kernels))
         return EpochSample(
             epoch_index=epoch_index,
             cycle=cycle,
-            epoch_ipc=tuple(ipc),
-            total_tbs=tuple(engine.total_tbs(idx)
-                            for idx in range(engine.num_kernels)),
+            epoch_ipc=view.epoch_ipc,
+            total_tbs=tuple(ctx.total_tbs(idx)
+                            for idx in range(ctx.num_kernels)),
             quota_remaining=quotas,
             alphas=dict(getattr(self.inner, "alphas", {})),
             nonqos_goals=dict(getattr(self.inner, "nonqos_goals", {})),

@@ -133,3 +133,42 @@ class TestRunnerIntegration:
         hits_before = cache.hits
         runner.run_pair("sgemm", "lbm", 0.65, "rollover")
         assert cache.hits == hits_before  # new goal: no false hit
+
+
+class TestTelemetryKeying:
+    def test_telemetry_flag_changes_key(self):
+        lean = case_key(FAST_GPU, NAMES, FLAGS, GOALS, "rollover", CYCLES,
+                        100, telemetry=False)
+        full = case_key(FAST_GPU, NAMES, FLAGS, GOALS, "rollover", CYCLES,
+                        100, telemetry=True)
+        assert lean != full
+
+    def test_default_is_lean(self):
+        implicit = case_key(FAST_GPU, NAMES, FLAGS, GOALS, "rollover",
+                            CYCLES, 100)
+        explicit = case_key(FAST_GPU, NAMES, FLAGS, GOALS, "rollover",
+                            CYCLES, 100, telemetry=False)
+        assert implicit == explicit
+
+    def test_salt_covers_policy_and_telemetry_modules(self):
+        # The contract and the recorder both shape cached records; editing
+        # either must invalidate the store.
+        from repro.harness.cache import salted_paths
+        paths = salted_paths()
+        assert "sim/policy.py" in paths
+        assert "sim/telemetry.py" in paths
+        assert "harness/runner.py" in paths
+
+    def test_telemetry_record_round_trips(self):
+        record = CaseRunner(FAST_GPU, CYCLES, telemetry=True).run_pair(
+            "sgemm", "lbm", 0.5, "rollover")
+        assert record.telemetry
+        assert record_from_dict(record_to_dict(record)) == record
+
+    def test_telemetry_record_round_trips_through_json(self):
+        import json
+        record = CaseRunner(FAST_GPU, CYCLES, telemetry=True).run_pair(
+            "sgemm", "lbm", 0.5, "rollover")
+        rehydrated = record_from_dict(
+            json.loads(json.dumps(record_to_dict(record))))
+        assert rehydrated == record

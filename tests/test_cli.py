@@ -47,3 +47,47 @@ class TestMain:
     def test_unknown_experiment_raises(self):
         with pytest.raises(ValueError):
             main(["fig99", "--preset", "smoke"])
+
+
+class TestTraceCommand:
+    def test_writes_valid_trace(self, tmp_path, capsys):
+        out = tmp_path / "case.jsonl"
+        assert main(["trace", "mri-q", "lbm", "--preset", "smoke",
+                     "-o", str(out)]) == 0
+        from repro.trace import read_trace
+        with out.open() as stream:
+            meta, records = read_trace(stream)
+        assert meta["kernels"] == ["mri-q", "lbm"]
+        assert meta["policy"] == "rollover"
+        assert records
+        assert records[0].epoch_index == 0
+
+    def test_stdout_by_default(self, capsys):
+        assert main(["trace", "mri-q", "lbm", "--preset", "smoke"]) == 0
+        out = capsys.readouterr().out
+        import io
+        from repro.trace import read_trace
+        meta, records = read_trace(io.StringIO(out))
+        assert meta["preset"] == "smoke"
+        assert records
+
+    def test_policy_and_qos_options(self, tmp_path):
+        out = tmp_path / "trio.jsonl"
+        assert main(["trace", "sgemm", "mri-q", "lbm", "--qos", "2",
+                     "--goal", "0.25", "--policy", "naive",
+                     "--preset", "smoke", "-o", str(out)]) == 0
+        from repro.trace import read_trace
+        with out.open() as stream:
+            meta, records = read_trace(stream)
+        assert meta["qos"] == [True, True, False]
+        assert meta["goal_fraction"] == 0.25
+        assert [k.name for k in records[0].kernels] == ["sgemm", "mri-q",
+                                                        "lbm"]
+
+    def test_rejects_bad_qos_count(self, capsys):
+        assert main(["trace", "sgemm", "lbm", "--qos", "3",
+                     "--preset", "smoke"]) == 2
+
+    def test_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "sgemm", "lbm", "--policy", "bogus"])

@@ -154,7 +154,7 @@ class TestEpochs:
         events = []
 
         class Recorder(SharingPolicy):
-            def on_epoch_start(self, engine, cycle, epoch_index):
+            def on_epoch_start(self, ctx, cycle, epoch_index):
                 events.append((epoch_index, cycle))
 
         sim = GPUSimulator(gpu, [LaunchedKernel(spec("a"))], Recorder())
@@ -168,10 +168,10 @@ class TestEpochs:
         events = []
 
         class Early(SharingPolicy):
-            def on_epoch_start(self, engine, cycle, epoch_index):
+            def on_epoch_start(self, ctx, cycle, epoch_index):
                 events.append(cycle)
                 if epoch_index == 1:
-                    engine.next_epoch_at = cycle + 50
+                    ctx.request_epoch_at(cycle + 50)
 
         sim = GPUSimulator(gpu, [LaunchedKernel(spec("a"))], Early())
         sim.run(1200)
@@ -260,12 +260,12 @@ class TestSamplingGrid:
         counts = []
 
         class Recorder(SharingPolicy):
-            def setup(self, engine):
-                engine.tb_targets[0][0] = 1
+            def setup(self, ctx):
+                ctx.set_tb_target(0, 0, 1)
 
-            def on_epoch_start(self, engine, cycle, epoch_index):
+            def on_epoch_start(self, ctx, cycle, epoch_index):
                 if epoch_index > 0:
-                    counts.append(engine.sms[0].idle_samples)
+                    counts.append(ctx.idle_samples(0))
 
         sim = GPUSimulator(gpu, [LaunchedKernel(mem_spec)], Recorder())
         sim.run(5000)
@@ -287,12 +287,12 @@ class TestSamplingGrid:
             counts = []
 
             class Recorder(SharingPolicy):
-                def setup(self, engine):
-                    engine.tb_targets[0][0] = 1
+                def setup(self, ctx):
+                    ctx.set_tb_target(0, 0, 1)
 
-                def on_epoch_start(self, engine, cycle, epoch_index):
+                def on_epoch_start(self, ctx, cycle, epoch_index):
                     if epoch_index > 0:
-                        counts.append(engine.sms[0].idle_samples)
+                        counts.append(ctx.idle_samples(0))
 
             sim = GPUSimulator(gpu, [LaunchedKernel(mem_spec)], Recorder())
             for _ in range(0, 4000, step):
@@ -305,10 +305,10 @@ class TestSamplingGrid:
 class _ZeroPolicy(SharingPolicy):
     """Start with no TBs anywhere; tests drive targets explicitly."""
 
-    def setup(self, engine):
+    def setup(self, ctx):
         pass
 
 
 class _OneTBPolicy(SharingPolicy):
-    def setup(self, engine):
-        engine.tb_targets[0][0] = 1
+    def setup(self, ctx):
+        ctx.set_tb_target(0, 0, 1)

@@ -1,0 +1,63 @@
+"""Architectural layering: policies may not import the engine.
+
+Policies consume the narrow :class:`repro.sim.policy.PolicyContext` surface;
+the engine imports *them* (through the harness), never the reverse.  This
+module walks the AST of every source file in the policy-side packages and
+fails if any of them imports ``repro.sim.engine`` — the inverted dependency
+this refactor removed — so it cannot silently creep back in.
+"""
+
+import ast
+import pathlib
+
+import pytest
+
+SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+
+#: Packages that must stay engine-free: they see only the PolicyContext.
+POLICY_PACKAGES = ("qos", "baselines", "sharing")
+
+FORBIDDEN = "repro.sim.engine"
+
+
+def policy_sources():
+    files = []
+    for package in POLICY_PACKAGES:
+        files.extend(sorted((SRC / package).rglob("*.py")))
+    assert files, "policy packages not found — did the layout change?"
+    return files
+
+
+def imports_of(path: pathlib.Path):
+    """Every module name imported by ``path`` (absolute form)."""
+    tree = ast.parse(path.read_text(), filename=str(path))
+    found = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            found.extend(alias.name for alias in node.names)
+        elif isinstance(node, ast.ImportFrom):
+            if node.module:
+                found.append(node.module)
+    return found
+
+
+class TestPolicyLayering:
+    @pytest.mark.parametrize("path", policy_sources(),
+                             ids=lambda p: str(p.relative_to(SRC)))
+    def test_never_imports_engine(self, path):
+        offenders = [name for name in imports_of(path)
+                     if name == FORBIDDEN or name.startswith(FORBIDDEN + ".")]
+        assert not offenders, (
+            f"{path.relative_to(SRC)} imports {offenders}; policies must "
+            "use repro.sim.policy.PolicyContext instead of the engine")
+
+    def test_policy_module_itself_is_engine_free(self):
+        # The contract's home must honour it too (engine imports policy).
+        offenders = [name for name in imports_of(SRC / "sim" / "policy.py")
+                     if name == FORBIDDEN or name.startswith(FORBIDDEN + ".")]
+        assert not offenders
+
+    def test_forbidden_module_exists(self):
+        # Guard the guard: if the engine module moves, the scan above would
+        # pass vacuously.
+        assert (SRC / "sim" / "engine.py").exists()

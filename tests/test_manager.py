@@ -87,7 +87,7 @@ class TestQuotaDistribution:
         policy = QoSPolicy(static_adjustment=False)
         sim = corun(policy, goal=40.0, cycles=1100)
         expected = policy.alphas[0] * 40.0 * sim.config.epoch_length
-        assert policy._kernel_quota(sim, 0) == pytest.approx(expected)
+        assert policy._kernel_quota(sim.ctx, 0) == pytest.approx(expected)
 
 
 class TestAlpha:

@@ -86,3 +86,42 @@ class TestSweepEquivalence:
                                   cache=warm_cache)
         assert warm.sweep(SPECS) == serial_records
         assert warm_cache.hits >= len(SPECS)
+
+
+class TestTelemetrySweepEquivalence:
+    """Telemetry streams must be identical between the serial and parallel
+    runners: workers are throwaway serial runners, so the only way this
+    fails is nondeterminism in the simulator itself."""
+
+    @pytest.fixture(scope="class")
+    def serial_telemetry(self):
+        runner = CaseRunner(FAST_GPU, CYCLES, telemetry=True)
+        return runner.sweep(SPECS)
+
+    def test_parallel_telemetry_matches_serial(self, serial_telemetry):
+        parallel = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2,
+                                      telemetry=True)
+        records = parallel.sweep(SPECS)
+        assert records == serial_telemetry
+        for record in records:
+            assert record.telemetry  # streams actually attached
+
+    def test_telemetry_off_records_carry_no_stream(self, serial_telemetry):
+        plain = CaseRunner(FAST_GPU, CYCLES).sweep(SPECS)
+        for lean, full in zip(plain, serial_telemetry):
+            assert lean.telemetry == ()
+            assert full.telemetry != ()
+            # Outcomes are unaffected by recording.
+            assert lean.kernels == full.kernels
+            assert lean.cycles == full.cycles
+
+    def test_telemetry_survives_cache_round_trip(self, tmp_path,
+                                                 serial_telemetry):
+        cold = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2,
+                                  telemetry=True, cache=CaseCache(tmp_path))
+        assert cold.sweep(SPECS) == serial_telemetry
+        warm_cache = CaseCache(tmp_path)
+        warm = ParallelCaseRunner(FAST_GPU, CYCLES, workers=2,
+                                  telemetry=True, cache=warm_cache)
+        assert warm.sweep(SPECS) == serial_telemetry
+        assert warm_cache.hits >= len(SPECS)

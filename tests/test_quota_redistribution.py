@@ -84,9 +84,9 @@ class TestRedistributionEndToEnd:
         class PinnedQoS(QoSPolicy):
             """Symmetric targets but the hog confined to SM0."""
 
-            def setup(self, engine):
-                super().setup(engine)
-                engine.set_tb_target(1, 1, 0)  # no hog on SM1
+            def setup(self, ctx):
+                super().setup(ctx)
+                ctx.set_tb_target(1, 1, 0)  # no hog on SM1
 
         sim = GPUSimulator(gpu, [
             LaunchedKernel(qos, is_qos=True, ipc_goal=goal),
@@ -115,6 +115,6 @@ class TestRedistributionEndToEnd:
         sim.run(2_000)
         # Total counter mass across SMs stays bounded by a couple of quotas
         # (an accumulation bug would grow it every epoch).
-        quota = policy._kernel_quota(sim, 0)
+        quota = policy._kernel_quota(sim.ctx, 0)
         total = sum(sm.quota_counters[0] for sm in sim.sms)
         assert total <= 3 * quota

@@ -128,7 +128,7 @@ class TestAllocatorHelpers:
         sim.setup()
         allocator = StaticAllocator(gpu)
         sm = sim.sms[0]
-        needed = allocator._tbs_to_vacate(sim, sm, big, victim_idx=1)
+        needed = allocator._tbs_to_vacate(sim.ctx, 0, big, victim_idx=1)
         assert needed is not None
         freed = needed * small.regs_per_tb_bytes
         free_now = gpu.sm.registers_bytes - sm.resources.registers_bytes
@@ -146,6 +146,6 @@ class TestAllocatorHelpers:
         # Wanting a second smem-hungry TB: evicting no-smem TBs can never
         # free shared memory.
         allocator = StaticAllocator(gpu)
-        needed = allocator._tbs_to_vacate(sim, sim.sms[0], smem_hungry,
+        needed = allocator._tbs_to_vacate(sim.ctx, 0, smem_hungry,
                                           victim_idx=1)
         assert needed is None

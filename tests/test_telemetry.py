@@ -1,0 +1,208 @@
+"""Tests for the engine's structured epoch telemetry (repro.sim.telemetry).
+
+Covers the observational contract (telemetry on changes nothing), record
+content and epoch bookkeeping, the dict codec + strict schema check, and
+the JSONL trace round-trip.
+"""
+
+import io
+
+import pytest
+
+from repro.config import FAST_GPU, GPUConfig, SMConfig
+from repro.kernels import get_kernel
+from repro.qos import QoSPolicy
+from repro.sim import (
+    GPUSimulator,
+    LaunchedKernel,
+    SharingPolicy,
+    TelemetryRecorder,
+)
+from repro.sim.telemetry import (
+    SCHEMA_VERSION,
+    epoch_record_from_dict,
+    epoch_record_to_dict,
+    validate_epoch_dict,
+)
+from repro.trace import read_trace, write_trace
+
+CYCLES = 6000
+
+
+def run(policy=None, telemetry=False, cycles=CYCLES, gpu=FAST_GPU):
+    recorder = TelemetryRecorder() if telemetry else None
+    sim = GPUSimulator(gpu, [
+        LaunchedKernel(get_kernel("sgemm"), is_qos=True, ipc_goal=100.0),
+        LaunchedKernel(get_kernel("lbm")),
+    ], policy, telemetry=recorder)
+    sim.run(cycles)
+    return sim
+
+
+@pytest.fixture(scope="module")
+def rollover_records():
+    sim = run(QoSPolicy("rollover"), telemetry=True)
+    return sim.finalize_telemetry()
+
+
+class TestObservationalContract:
+    @pytest.mark.parametrize("policy_factory", [
+        lambda: None,
+        lambda: SharingPolicy(),
+        lambda: QoSPolicy("rollover"),
+        lambda: QoSPolicy("naive"),
+    ])
+    def test_results_identical_with_and_without(self, policy_factory):
+        off = run(policy_factory(), telemetry=False)
+        on = run(policy_factory(), telemetry=True)
+        assert on.result() == off.result()
+
+    def test_finalize_without_recorder_is_empty(self):
+        sim = run(QoSPolicy("rollover"), telemetry=False)
+        assert sim.finalize_telemetry() == ()
+
+
+class TestRecordContent:
+    def test_epochs_contiguous_and_ordered(self, rollover_records):
+        assert rollover_records
+        for i, record in enumerate(rollover_records):
+            assert record.epoch_index == i
+            assert record.end_cycle > record.start_cycle
+            if i:
+                assert record.start_cycle == rollover_records[i - 1].end_cycle
+
+    def test_trailing_partial_epoch_reaches_final_cycle(self):
+        gpu = FAST_GPU
+        sim = run(QoSPolicy("rollover"), telemetry=True,
+                  cycles=gpu.epoch_length + gpu.epoch_length // 2)
+        records = sim.finalize_telemetry()
+        assert records[-1].end_cycle == sim.cycle
+
+    def test_finalize_idempotent(self):
+        sim = run(QoSPolicy("rollover"), telemetry=True)
+        assert sim.finalize_telemetry() == sim.finalize_telemetry()
+
+    def test_kernel_names_and_retired(self, rollover_records):
+        names = [k.name for k in rollover_records[0].kernels]
+        assert names == ["sgemm", "lbm"]
+        total = sum(k.retired for record in rollover_records
+                    for k in record.kernels if k.name == "sgemm")
+        assert total > 0
+
+    def test_quota_fields_present_for_quota_policy(self, rollover_records):
+        # The opening refresh happens from epoch 1 on (epoch 0 runs on the
+        # setup-time grant, which QoSPolicy also notes).
+        sampled = rollover_records[1]
+        for kernel in sampled.kernels:
+            assert kernel.quota_granted is not None
+            assert kernel.quota_carried is not None
+            assert kernel.quota_residual is not None
+            assert kernel.ipc_goal is not None
+
+    def test_quota_fields_none_for_unmanaged_policy(self):
+        sim = run(SharingPolicy(), telemetry=True)
+        for record in sim.finalize_telemetry():
+            for kernel in record.kernels:
+                assert kernel.quota_granted is None
+                assert kernel.quota_residual is None
+                assert kernel.alpha is None
+
+    def test_sleep_counters_bounded_by_span(self, rollover_records):
+        num_sms = FAST_GPU.num_sms
+        for record in rollover_records:
+            span = record.end_cycle - record.start_cycle
+            assert 0 <= record.idle_jump_cycles <= span
+            assert 0 <= record.sleep_skipped_sm_cycles <= num_sms * span
+            # A fully idle GPU cycle is idle on every SM.
+            assert (record.sleep_skipped_sm_cycles
+                    >= num_sms * record.idle_jump_cycles)
+
+    def test_epoch_ipc_matches_retired_delta(self, rollover_records):
+        for record in rollover_records:
+            span = record.end_cycle - record.start_cycle
+            for kernel in record.kernels:
+                assert kernel.epoch_ipc == pytest.approx(kernel.retired / span)
+
+
+class TestTBMoves:
+    def test_preempting_policy_records_moves(self):
+        # A tiny machine under an aggressive QoS goal forces TB moves.
+        gpu = GPUConfig(num_sms=2, num_mcs=1, epoch_length=500,
+                        idle_warp_samples=8, sm=SMConfig(warp_schedulers=2))
+        sim = run(QoSPolicy("rollover"), telemetry=True, cycles=12_000,
+                  gpu=gpu)
+        records = sim.finalize_telemetry()
+        moves = [move for record in records for move in record.tb_moves]
+        assert sim.result().evictions == len(moves)
+        for move in moves:
+            assert 0 <= move.sm_id < gpu.num_sms
+            assert move.drain_cycles >= 0
+
+
+class TestCodec:
+    def test_round_trip(self, rollover_records):
+        for record in rollover_records:
+            payload = epoch_record_to_dict(record)
+            validate_epoch_dict(payload)
+            assert epoch_record_from_dict(payload) == record
+
+    def test_validate_rejects_missing_field(self, rollover_records):
+        payload = epoch_record_to_dict(rollover_records[0])
+        del payload["end_cycle"]
+        with pytest.raises(ValueError, match="end_cycle"):
+            validate_epoch_dict(payload)
+
+    def test_validate_rejects_unknown_field(self, rollover_records):
+        payload = epoch_record_to_dict(rollover_records[0])
+        payload["surprise"] = 1
+        with pytest.raises(ValueError, match="surprise"):
+            validate_epoch_dict(payload)
+
+    def test_validate_rejects_wrong_type(self, rollover_records):
+        payload = epoch_record_to_dict(rollover_records[0])
+        payload["epoch_index"] = "zero"
+        with pytest.raises(ValueError, match="epoch_index"):
+            validate_epoch_dict(payload)
+
+    def test_validate_rejects_bad_kernel_entry(self, rollover_records):
+        payload = epoch_record_to_dict(rollover_records[0])
+        payload["kernels"][0]["retired"] = 1.5
+        with pytest.raises(ValueError, match="retired"):
+            validate_epoch_dict(payload)
+
+
+class TestJsonlTrace:
+    def test_round_trip(self, rollover_records):
+        buffer = io.StringIO()
+        count = write_trace(buffer, rollover_records,
+                            meta={"policy": "rollover"})
+        assert count == len(rollover_records)
+        buffer.seek(0)
+        meta, records = read_trace(buffer)
+        assert meta["schema_version"] == SCHEMA_VERSION
+        assert meta["policy"] == "rollover"
+        assert tuple(records) == tuple(rollover_records)
+
+    def test_read_rejects_missing_meta(self, rollover_records):
+        buffer = io.StringIO()
+        write_trace(buffer, rollover_records)
+        body = "".join(buffer.getvalue().splitlines(True)[1:])
+        with pytest.raises(ValueError, match="meta"):
+            read_trace(io.StringIO(body))
+
+    def test_read_rejects_version_skew(self, rollover_records):
+        buffer = io.StringIO()
+        write_trace(buffer, rollover_records)
+        skewed = buffer.getvalue().replace(
+            f'"schema_version": {SCHEMA_VERSION}',
+            f'"schema_version": {SCHEMA_VERSION + 1}', 1)
+        with pytest.raises(ValueError, match="schema version"):
+            read_trace(io.StringIO(skewed))
+
+    def test_read_rejects_corrupt_epoch_line(self, rollover_records):
+        buffer = io.StringIO()
+        write_trace(buffer, rollover_records)
+        corrupted = buffer.getvalue().replace('"epoch_index"',
+                                              '"epoch_idx"')
+        with pytest.raises(ValueError):
+            read_trace(io.StringIO(corrupted))
