@@ -1,0 +1,56 @@
+"""``repro.analysis`` — a static determinism & layering linter ("repro lint").
+
+The reproduction's credibility rests on invariants that used to be enforced
+only dynamically and piecemeal: bit-identical results across the event/scan
+cores and serial/parallel runners, policies that never poke the engine, a
+content-hash cache whose code salt covers every result-affecting module,
+and a telemetry schema the JSONL exporter can always round-trip.  This
+package checks those properties statically over the whole tree:
+
+* :mod:`repro.analysis.core` — the framework: findings, rules, modules,
+  the registry, ``# repro: noqa=RULE`` suppressions;
+* :mod:`repro.analysis.rules` — the built-in rule catalog (determinism,
+  layering contracts, cache-salt coverage, telemetry-schema sync);
+* :mod:`repro.analysis.baseline` — grandfathered findings that
+  ``--strict`` tolerates;
+* :mod:`repro.analysis.driver` — :func:`analyze_paths` /
+  :func:`check_source`, the programmatic entry points;
+* :mod:`repro.analysis.cli` — the ``repro lint`` subcommand.
+
+Nothing in the simulator runtime imports this package (enforced by the
+``runtime-analysis-independence`` contract — by the linter itself).
+"""
+
+from repro.analysis.core import (
+    ALL_RULES,
+    ERROR,
+    WARNING,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    all_rules,
+    register,
+)
+from repro.analysis.driver import (
+    AnalysisResult,
+    analyze_paths,
+    check_source,
+    select_rules,
+)
+
+__all__ = [
+    "ALL_RULES",
+    "ERROR",
+    "WARNING",
+    "AnalysisResult",
+    "Finding",
+    "ModuleInfo",
+    "Project",
+    "Rule",
+    "all_rules",
+    "analyze_paths",
+    "check_source",
+    "register",
+    "select_rules",
+]

@@ -1,0 +1,90 @@
+"""Baseline store: grandfathered findings that ``--strict`` tolerates.
+
+A baseline is a checked-in JSON file listing findings that existed when a
+rule was introduced and have been consciously deferred (each entry carries
+a ``justification``).  ``repro lint --strict`` fails only on findings *not*
+in the baseline, so new rules can land without blocking on fixing the
+whole backlog at once — while ratcheting: removing the underlying code
+removes the finding, and ``--write-baseline`` regenerates the file so the
+entry disappears rather than lingering.
+
+Entries match findings by fingerprint — ``(rule, path, message)``, no line
+number — so unrelated edits that shift code do not invalidate them.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.analysis.core import Finding
+
+BASELINE_VERSION = 1
+
+#: Default baseline filename, looked up at the lint root.
+DEFAULT_BASELINE_NAME = ".repro-lint-baseline.json"
+
+Fingerprint = Tuple[str, str, str]
+
+
+def load_baseline(path: pathlib.Path) -> List[Dict[str, str]]:
+    """Baseline entries from ``path`` (raises ValueError on a bad file)."""
+    payload = json.loads(path.read_text())
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: baseline must be a JSON object")
+    if payload.get("version") != BASELINE_VERSION:
+        raise ValueError(
+            f"{path}: baseline version {payload.get('version')!r} does not "
+            f"match expected {BASELINE_VERSION}")
+    entries = payload.get("entries")
+    if not isinstance(entries, list):
+        raise ValueError(f"{path}: baseline 'entries' must be a list")
+    for entry in entries:
+        if not isinstance(entry, dict) or not all(
+                isinstance(entry.get(key), str)
+                for key in ("rule", "path", "message")):
+            raise ValueError(
+                f"{path}: each baseline entry needs string 'rule', 'path' "
+                "and 'message' fields")
+    return entries
+
+
+def baseline_fingerprints(entries: Iterable[Dict[str, str]]) -> Set[Fingerprint]:
+    return {(entry["rule"], entry["path"], entry["message"])
+            for entry in entries}
+
+
+def split_by_baseline(findings: Sequence[Finding],
+                      fingerprints: Set[Fingerprint]):
+    """``(new, baselined)`` partition of ``findings``."""
+    new: List[Finding] = []
+    baselined: List[Finding] = []
+    for finding in findings:
+        (baselined if finding.fingerprint in fingerprints
+         else new).append(finding)
+    return new, baselined
+
+
+def unused_entries(entries: Sequence[Dict[str, str]],
+                   findings: Sequence[Finding]) -> List[Dict[str, str]]:
+    """Baseline entries that no current finding matches (fixed code whose
+    grandfathering should be dropped)."""
+    live = {finding.fingerprint for finding in findings}
+    return [entry for entry in entries
+            if (entry["rule"], entry["path"], entry["message"]) not in live]
+
+
+def write_baseline(path: pathlib.Path, findings: Sequence[Finding],
+                   justification: str = "grandfathered by --write-baseline"
+                   ) -> int:
+    """Serialise ``findings`` as the new baseline; returns the entry count."""
+    entries = [
+        {"rule": finding.rule, "path": finding.path,
+         "message": finding.message, "justification": justification}
+        for finding in sorted(findings,
+                              key=lambda f: (f.path, f.rule, f.message))
+    ]
+    payload = {"version": BASELINE_VERSION, "entries": entries}
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return len(entries)

@@ -1,0 +1,179 @@
+"""``repro lint`` — the analyzer's command-line front end.
+
+Examples::
+
+    repro-gpu-qos lint                       # lint src/ + examples/
+    repro-gpu-qos lint --strict              # CI mode: exit 1 on new findings
+    repro-gpu-qos lint --rule DET003 src     # one rule, explicit paths
+    repro-gpu-qos lint --format json         # machine-readable report
+    repro-gpu-qos lint --list-rules          # the rule catalog
+    repro-gpu-qos lint --write-baseline      # grandfather current findings
+    repro-lint --strict                      # dedicated console entry
+
+Exit codes: 0 clean (or findings without ``--strict``), 1 new findings
+under ``--strict``, 2 usage errors.  Findings on a baseline entry (see
+``--baseline``) or on a line with ``# repro: noqa=RULE`` never fail the
+run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis import baseline as baseline_mod
+from repro.analysis.core import all_rules
+from repro.analysis.driver import analyze_paths, select_rules
+
+
+def default_targets(cwd: Optional[pathlib.Path] = None) -> List[pathlib.Path]:
+    """``src/`` + ``examples/`` when run from a checkout, else the
+    installed package itself."""
+    cwd = pathlib.Path.cwd() if cwd is None else cwd
+    if (cwd / "src" / "repro").is_dir():
+        targets = [cwd / "src"]
+        if (cwd / "examples").is_dir():
+            targets.append(cwd / "examples")
+        return targets
+    return [pathlib.Path(__file__).resolve().parents[1]]
+
+
+def build_lint_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gpu-qos lint",
+        description="Statically check the reproduction's determinism, "
+                    "layering, cache-salt and telemetry-schema invariants")
+    parser.add_argument(
+        "paths", nargs="*", type=pathlib.Path,
+        help="files or directories to lint (default: src/ and examples/ "
+             "under the current directory)")
+    parser.add_argument(
+        "--strict", action="store_true",
+        help="exit 1 when any non-baselined, non-suppressed finding remains")
+    parser.add_argument(
+        "--rule", action="append", dest="rules", metavar="ID", default=None,
+        help="run only this rule (repeatable)")
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=None,
+        help="baseline file of grandfathered findings (default: "
+             f"{baseline_mod.DEFAULT_BASELINE_NAME} in the current "
+             "directory, when present)")
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="rewrite the baseline file from the current findings and exit 0")
+    parser.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format (default: human)")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalog and exit")
+    return parser
+
+
+def _print_rule_catalog() -> None:
+    registry = all_rules()
+    for rule_id in sorted(registry):
+        rule = registry[rule_id]
+        scope = "project" if rule.scope == "project" else "module"
+        print(f"{rule_id}  [{rule.severity}/{scope}]  {rule.summary}")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_lint_parser().parse_args(argv)
+    if args.list_rules:
+        _print_rule_catalog()
+        return 0
+
+    try:
+        rules = select_rules(args.rules)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    cwd = pathlib.Path.cwd()
+    paths = [pathlib.Path(path) for path in args.paths] or default_targets(cwd)
+    missing = [path for path in paths if not path.exists()]
+    if missing:
+        print("error: no such path: "
+              + ", ".join(str(path) for path in missing), file=sys.stderr)
+        return 2
+
+    baseline_path = args.baseline
+    if baseline_path is None:
+        candidate = cwd / baseline_mod.DEFAULT_BASELINE_NAME
+        baseline_path = candidate if candidate.exists() else None
+    elif not baseline_path.exists() and not args.write_baseline:
+        print(f"error: baseline file {baseline_path} does not exist "
+              "(use --write-baseline to create it)", file=sys.stderr)
+        return 2
+
+    result = analyze_paths(paths, root=cwd,
+                           rule_ids=[rule.id for rule in rules])
+
+    if args.write_baseline:
+        target = baseline_path or cwd / baseline_mod.DEFAULT_BASELINE_NAME
+        count = baseline_mod.write_baseline(target, result.findings)
+        print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} "
+              f"to {target}", file=sys.stderr)
+        return 0
+
+    entries: List[dict] = []
+    if baseline_path is not None:
+        try:
+            entries = baseline_mod.load_baseline(baseline_path)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+    fingerprints = baseline_mod.baseline_fingerprints(entries)
+    new, baselined = baseline_mod.split_by_baseline(result.findings,
+                                                    fingerprints)
+    stale = baseline_mod.unused_entries(entries, result.findings)
+
+    if args.format == "json":
+        print(json.dumps({
+            "findings": [
+                {"rule": finding.rule, "severity": finding.severity,
+                 "path": finding.path, "line": finding.line,
+                 "message": finding.message, "baselined": False}
+                for finding in new
+            ] + [
+                {"rule": finding.rule, "severity": finding.severity,
+                 "path": finding.path, "line": finding.line,
+                 "message": finding.message, "baselined": True}
+                for finding in baselined
+            ],
+            "counts": {
+                "new": len(new),
+                "baselined": len(baselined),
+                "suppressed": len(result.suppressed),
+                "stale_baseline_entries": len(stale),
+                "modules": len(result.modules),
+            },
+            "strict": bool(args.strict),
+        }, indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.format())
+        for finding in baselined:
+            print(f"{finding.format()}  (baselined)")
+        summary = (f"{len(new)} finding{'s' if len(new) != 1 else ''} "
+                   f"({len(baselined)} baselined, "
+                   f"{len(result.suppressed)} noqa-suppressed) across "
+                   f"{len(result.modules)} modules")
+        print(summary, file=sys.stderr)
+        if stale:
+            print(f"note: {len(stale)} baseline entr"
+                  f"{'y is' if len(stale) == 1 else 'ies are'} no longer "
+                  "matched by any finding; regenerate with --write-baseline",
+                  file=sys.stderr)
+
+    if args.strict and new:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,170 @@
+"""Analysis driver: collect sources, run rules, apply suppressions.
+
+:func:`analyze_paths` is the programmatic entry point (the CLI and the
+test suite both sit on it); :func:`check_source` is the one-snippet
+convenience the analyzer's own tests use.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.analysis.core import (
+    ERROR,
+    Finding,
+    ModuleInfo,
+    Project,
+    Rule,
+    all_rules,
+    module_name_for,
+)
+
+#: Rule id used for files the parser rejects (not suppressible by design —
+#: a file that does not parse cannot carry a trustworthy noqa comment).
+PARSE_ERROR_RULE = "E999"
+
+_SKIP_DIR_NAMES = {"__pycache__"}
+_SKIP_DIR_SUFFIXES = (".egg-info",)
+
+
+def iter_python_files(paths: Iterable[pathlib.Path]) -> List[pathlib.Path]:
+    """Every ``.py`` file under ``paths``, sorted, cache dirs skipped."""
+    files: List[pathlib.Path] = []
+    for path in paths:
+        path = pathlib.Path(path)
+        if path.is_dir():
+            for source in sorted(path.rglob("*.py")):
+                parts = source.parts
+                if any(part in _SKIP_DIR_NAMES
+                       or part.endswith(_SKIP_DIR_SUFFIXES)
+                       for part in parts):
+                    continue
+                files.append(source)
+        elif path.suffix == ".py":
+            files.append(path)
+    unique: Dict[pathlib.Path, None] = {}
+    for source in files:
+        unique.setdefault(source.resolve(), None)
+    return sorted(unique)
+
+
+def display_path(path: pathlib.Path, root: Optional[pathlib.Path]) -> str:
+    path = path.resolve()
+    if root is not None:
+        try:
+            return path.relative_to(root.resolve()).as_posix()
+        except ValueError:
+            pass
+    return path.as_posix()
+
+
+@dataclass
+class AnalysisResult:
+    """Everything one analyzer run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    #: Findings silenced by an inline ``# repro: noqa`` comment.
+    suppressed: List[Finding] = field(default_factory=list)
+    modules: List[ModuleInfo] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [finding for finding in self.findings
+                if finding.severity == ERROR]
+
+
+def load_project(paths: Sequence[pathlib.Path],
+                 root: Optional[pathlib.Path] = None
+                 ) -> "tuple[Project, List[Finding]]":
+    """Parse every file under ``paths``; syntax errors become findings."""
+    modules: List[ModuleInfo] = []
+    parse_findings: List[Finding] = []
+    for source_path in iter_python_files(paths):
+        display = display_path(source_path, root)
+        try:
+            source = source_path.read_text()
+            tree = ast.parse(source, filename=str(source_path))
+        except (SyntaxError, ValueError, OSError) as error:
+            line = getattr(error, "lineno", None) or 1
+            parse_findings.append(Finding(
+                rule=PARSE_ERROR_RULE, severity=ERROR, path=display,
+                line=line, message=f"file does not parse: {error}"))
+            continue
+        modules.append(ModuleInfo(path=source_path, display=display,
+                                  source=source, tree=tree,
+                                  name=module_name_for(source_path)))
+    return Project(modules), parse_findings
+
+
+def select_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """The registered rules, optionally restricted to ``rule_ids``.
+
+    Raises ``ValueError`` naming the unknown ids (and the known catalog)
+    when a requested id does not exist.
+    """
+    registry = all_rules()
+    if rule_ids is None:
+        return [registry[rule_id] for rule_id in sorted(registry)]
+    unknown = sorted(set(rule_ids) - set(registry))
+    if unknown:
+        raise ValueError(
+            f"unknown rule id(s) {', '.join(unknown)}; known rules: "
+            f"{', '.join(sorted(registry))}")
+    return [registry[rule_id] for rule_id in sorted(set(rule_ids))]
+
+
+def analyze_paths(paths: Sequence[pathlib.Path],
+                  root: Optional[pathlib.Path] = None,
+                  rule_ids: Optional[Sequence[str]] = None) -> AnalysisResult:
+    """Run the (selected) rule set over every python file under ``paths``.
+
+    Findings on lines carrying a matching ``# repro: noqa[=RULE,...]``
+    comment land in :attr:`AnalysisResult.suppressed` instead of
+    :attr:`AnalysisResult.findings`.  Parse failures are reported as
+    :data:`PARSE_ERROR_RULE` findings and are never suppressible.
+    """
+    rules = select_rules(rule_ids)
+    project, parse_findings = load_project(paths, root=root)
+    raw: List[Finding] = []
+    for rule in rules:
+        if rule.scope == "project":
+            raw.extend(rule.check_project(project))
+        else:
+            for module in project.modules:
+                raw.extend(rule.check_module(module))
+    result = AnalysisResult(modules=project.modules)
+    result.findings.extend(parse_findings)
+    for finding in raw:
+        module = project.by_display.get(finding.path)
+        if module is not None and module.suppresses(finding):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    result.findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    result.suppressed.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return result
+
+
+def check_source(source: str, path: str = "snippet.py",
+                 name: Optional[str] = None,
+                 rule_ids: Optional[Sequence[str]] = None) -> List[Finding]:
+    """Lint one in-memory snippet (module-scope rules only see one module;
+    project-scope rules run too but skip when their anchor modules are
+    absent).  ``name`` defaults to the stem of ``path``."""
+    rules = select_rules(rule_ids)
+    tree = ast.parse(source, filename=path)
+    module = ModuleInfo(path=pathlib.Path(path), display=path, source=source,
+                        tree=tree, name=name or pathlib.Path(path).stem)
+    project = Project([module])
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.scope == "project":
+            findings.extend(rule.check_project(project))
+        else:
+            findings.extend(rule.check_module(module))
+    return sorted(
+        (finding for finding in findings if not module.suppresses(finding)),
+        key=lambda f: (f.line, f.rule, f.message))

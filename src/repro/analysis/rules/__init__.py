@@ -1,0 +1,41 @@
+"""Built-in rule set of the ``repro lint`` analyzer.
+
+Importing this package registers every rule with the
+:mod:`repro.analysis.core` registry.  The catalog:
+
+========  =========  ==========================================================
+id        severity   invariant
+========  =========  ==========================================================
+DET001    error      no wall-clock reads on result paths
+DET002    error      no process-global / unseeded RNGs
+DET003    error      no iteration over sets (hash-randomised order)
+DET004    error      no ordering by ``id()``
+DET005    error      no filesystem-order directory listings without ``sorted``
+DET006    warning    ``.keys()`` iteration: sort when order can matter
+LAY001    error      declarative import contracts (policy/engine/harness edges)
+LAY002    error      no attribute assignment into a ``PolicyContext``
+LAY003    error      no underscore-private access on a ``PolicyContext``
+SALT001   error      cache code salt covers every result-affecting module
+SALT002   warning    no stale entries in the cache code salt
+SCHEMA001 error      telemetry dataclasses match the JSONL validation tables
+========  =========  ==========================================================
+"""
+
+from repro.analysis.rules import determinism, layering, saltcov, schema
+from repro.analysis.rules.layering import (
+    IMPORT_CONTRACTS,
+    POLICY_SIDE_PACKAGES,
+    ImportContract,
+    contracts_for,
+)
+
+__all__ = [
+    "IMPORT_CONTRACTS",
+    "POLICY_SIDE_PACKAGES",
+    "ImportContract",
+    "contracts_for",
+    "determinism",
+    "layering",
+    "saltcov",
+    "schema",
+]

@@ -1,0 +1,151 @@
+"""Telemetry-schema sync: the dataclasses and the JSONL schema must agree.
+
+:mod:`repro.sim.telemetry` owns both the typed per-epoch records
+(:class:`EpochRecord`, :class:`KernelEpochRecord`, :class:`TBMove`) and the
+field tables (``_EPOCH_INT_FIELDS`` etc.) that :func:`validate_epoch_dict`
+checks JSONL traces against.  Adding a dataclass field without updating the
+tables would let the exporter write records the validator can no longer
+round-trip — and the strict reader (:mod:`repro.trace.jsonl`) would reject
+every new trace.
+
+``SCHEMA001`` checks, statically:
+
+* ``EpochRecord`` fields == ``_EPOCH_INT_FIELDS`` + ``kernels`` +
+  ``tb_moves``;
+* ``KernelEpochRecord`` fields == ``name`` + int + float + optional
+  tables;
+* ``TBMove`` fields == ``_TB_MOVE_FIELDS``;
+* the JSONL exporter actually imports ``validate_epoch_dict`` (otherwise
+  the schema guarantee is decorative).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Tuple
+
+from repro.analysis.core import ERROR, Finding, Project, Rule, register
+
+TELEMETRY_MODULE = "repro.sim.telemetry"
+JSONL_MODULE = "repro.trace.jsonl"
+
+#: dataclass -> (field tables summed, implicit fields) that must equal it.
+_EPOCH_TABLES = ("_EPOCH_INT_FIELDS",)
+_EPOCH_IMPLICIT = ("kernels", "tb_moves")
+_KERNEL_TABLES = ("_KERNEL_INT_FIELDS", "_KERNEL_FLOAT_FIELDS",
+                  "_KERNEL_OPT_FIELDS")
+_KERNEL_IMPLICIT = ("name",)
+_TB_MOVE_TABLES = ("_TB_MOVE_FIELDS",)
+
+
+def _dataclass_fields(tree: ast.Module, class_name: str) -> Optional[
+        Tuple[List[str], int]]:
+    """Annotated field names of a (data)class body, with its line number."""
+    for node in tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            fields = [statement.target.id for statement in node.body
+                      if isinstance(statement, ast.AnnAssign)
+                      and isinstance(statement.target, ast.Name)]
+            return fields, node.lineno
+    return None
+
+
+def _string_tuple(tree: ast.Module, name: str) -> Optional[List[str]]:
+    for node in tree.body:
+        if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+            continue
+        target = node.targets[0]
+        if not (isinstance(target, ast.Name) and target.id == name):
+            continue
+        if not isinstance(node.value, (ast.Tuple, ast.List)):
+            return None
+        values = []
+        for element in node.value.elts:
+            if not (isinstance(element, ast.Constant)
+                    and isinstance(element.value, str)):
+                return None
+            values.append(element.value)
+        return values
+    return None
+
+
+@register
+class TelemetrySchemaSyncRule(Rule):
+    id = "SCHEMA001"
+    severity = ERROR
+    scope = "project"
+    summary = ("telemetry dataclass fields out of sync with the JSONL "
+               "validation tables (validate_epoch_dict would reject or "
+               "under-check exported traces)")
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        telemetry = project.module(TELEMETRY_MODULE)
+        if telemetry is None:
+            return
+        tree = telemetry.tree
+        checks = (
+            ("EpochRecord", _EPOCH_TABLES, _EPOCH_IMPLICIT),
+            ("KernelEpochRecord", _KERNEL_TABLES, _KERNEL_IMPLICIT),
+            ("TBMove", _TB_MOVE_TABLES, ()),
+        )
+        for class_name, table_names, implicit in checks:
+            located = _dataclass_fields(tree, class_name)
+            if located is None:
+                yield self.finding(
+                    telemetry, 1,
+                    f"expected dataclass {class_name} in "
+                    f"{TELEMETRY_MODULE}; the schema-sync check needs it")
+                continue
+            fields, lineno = located
+            table_fields: List[str] = list(implicit)
+            tables_ok = True
+            for table_name in table_names:
+                values = _string_tuple(tree, table_name)
+                if values is None:
+                    yield self.finding(
+                        telemetry, lineno,
+                        f"expected a literal string tuple {table_name} in "
+                        f"{TELEMETRY_MODULE} (validation table for "
+                        f"{class_name})")
+                    tables_ok = False
+                    continue
+                table_fields.extend(values)
+            if not tables_ok:
+                continue
+            missing = [field for field in fields
+                       if field not in table_fields]
+            extra = [field for field in table_fields
+                     if field not in fields]
+            duplicated = sorted({field for field in table_fields
+                                 if table_fields.count(field) > 1})
+            if missing:
+                yield self.finding(
+                    telemetry, lineno,
+                    f"{class_name} field(s) {missing} are not covered by "
+                    f"the validation tables ({', '.join(table_names)}); "
+                    "exported traces would not be schema-checked for them")
+            if extra:
+                yield self.finding(
+                    telemetry, lineno,
+                    f"validation table entr(ies) {extra} name no "
+                    f"{class_name} field; the validator would reject every "
+                    "record the dataclass actually produces")
+            if duplicated:
+                yield self.finding(
+                    telemetry, lineno,
+                    f"field(s) {duplicated} appear in more than one "
+                    f"validation table for {class_name}")
+        yield from self._check_exporter(project)
+
+    def _check_exporter(self, project: Project) -> Iterator[Finding]:
+        jsonl = project.module(JSONL_MODULE)
+        if jsonl is None:
+            return
+        imported = {name for name, _lineno in jsonl.imported_modules()}
+        validator = f"{TELEMETRY_MODULE}.validate_epoch_dict"
+        if validator not in imported and TELEMETRY_MODULE not in imported:
+            yield self.finding(
+                jsonl, 1,
+                f"{JSONL_MODULE} does not import validate_epoch_dict from "
+                f"{TELEMETRY_MODULE}; traces it reads would bypass the "
+                "record schema check")

@@ -39,9 +39,13 @@ from repro.sim.telemetry import epoch_record_from_dict
 ENV_CACHE = "REPRO_CACHE"
 
 #: Package directories (relative to ``src/repro``) whose source participates
-#: in the code salt: anything that can change a simulation outcome.
+#: in the code salt: anything that can change a simulation outcome.  The
+#: list must cover the transitive import closure of the result-producing
+#: roots (engine + runner) — ``repro lint`` rule SALT001 enforces this —
+#: including this module itself, since the keying and record serialisation
+#: logic below decides what a cached entry means.
 _SALTED = ("config.py", "isa", "kernels", "sim", "qos", "baselines",
-           "sharing", "power", "harness/runner.py")
+           "sharing", "power", "harness/runner.py", "harness/cache.py")
 
 _code_salt_memo: Optional[str] = None
 

@@ -1,0 +1,570 @@
+"""Tests for the `repro lint` analyzer: every shipped rule must catch its
+deliberately-seeded fixture violation and stay quiet on the clean twin."""
+
+import pathlib
+import textwrap
+
+import pytest
+
+from repro.analysis import analyze_paths, check_source, select_rules
+from repro.analysis.driver import PARSE_ERROR_RULE
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+
+def rules_of(findings):
+    return [finding.rule for finding in findings]
+
+
+def snippet(source, **kwargs):
+    return check_source(textwrap.dedent(source), **kwargs)
+
+
+# ---------------------------------------------------------------- DET rules
+
+class TestWallClock:
+    def test_flags_time_time(self):
+        findings = snippet("""
+            import time
+            def stamp():
+                return time.time()
+            """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_flags_from_import_alias(self):
+        findings = snippet("""
+            from time import perf_counter as tick
+            x = tick()
+            """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_flags_argless_datetime_now(self):
+        findings = snippet("""
+            from datetime import datetime
+            stamp = datetime.now()
+            """)
+        assert rules_of(findings) == ["DET001"]
+
+    def test_quiet_on_injected_clock(self):
+        findings = snippet("""
+            def stamp(clock):
+                return clock()
+            """)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = snippet("""
+            import time
+            started = time.time()  # repro: noqa=DET001
+            """)
+        assert findings == []
+
+    def test_bare_noqa_suppresses_everything_on_line(self):
+        findings = snippet("""
+            import time
+            started = time.time()  # repro: noqa
+            """)
+        assert findings == []
+
+
+class TestUnseededRandom:
+    def test_flags_global_random(self):
+        findings = snippet("""
+            import random
+            pick = random.choice([1, 2, 3])
+            """)
+        assert rules_of(findings) == ["DET002"]
+
+    def test_flags_unseeded_random_instance(self):
+        findings = snippet("""
+            import random
+            rng = random.Random()
+            """)
+        assert rules_of(findings) == ["DET002"]
+
+    def test_quiet_on_seeded_random_instance(self):
+        # kernels/trace.py's idiom: a per-kernel string seed.
+        findings = snippet("""
+            import random
+            rng = random.Random("pattern:mri-q")
+            draws = [rng.random() for _ in range(4)]
+            """)
+        assert findings == []
+
+    def test_flags_numpy_global_state(self):
+        findings = snippet("""
+            import numpy as np
+            noise = np.random.normal(size=8)
+            """)
+        assert rules_of(findings) == ["DET002"]
+
+    def test_numpy_default_rng_needs_a_seed(self):
+        unseeded = snippet("""
+            import numpy.random
+            rng = numpy.random.default_rng()
+            """)
+        seeded = snippet("""
+            import numpy.random
+            rng = numpy.random.default_rng(1234)
+            """)
+        assert rules_of(unseeded) == ["DET002"]
+        assert seeded == []
+
+
+class TestSetIteration:
+    def test_flags_direct_set_call_iteration(self):
+        findings = snippet("""
+            def order(warps):
+                for warp in set(warps):
+                    warp.issue()
+            """)
+        assert rules_of(findings) == ["DET003"]
+
+    def test_flags_set_literal_and_comprehension(self):
+        findings = snippet("""
+            def f(items):
+                a = [x for x in {1, 2, 3}]
+                b = [x for x in {i for i in items}]
+                return a, b
+            """)
+        assert rules_of(findings) == ["DET003", "DET003"]
+
+    def test_flags_name_assigned_from_set(self):
+        findings = snippet("""
+            def pending(sms):
+                ready = set(sms)
+                for sm in ready:
+                    sm.tick()
+            """)
+        assert rules_of(findings) == ["DET003"]
+
+    def test_flags_set_difference_iteration(self):
+        findings = snippet("""
+            def diff(a, b):
+                left = set(a)
+                for item in left - set(b):
+                    yield item
+            """)
+        assert rules_of(findings) == ["DET003"]
+
+    def test_quiet_when_sorted(self):
+        findings = snippet("""
+            def order(warps):
+                for warp in sorted(set(warps)):
+                    warp.issue()
+            """)
+        assert findings == []
+
+    def test_quiet_on_membership_only_sets(self):
+        # sim/cache.py's idiom: a dirty-line set used for membership tests.
+        findings = snippet("""
+            def track(lines):
+                dirty = set()
+                dirty.add(7)
+                return 7 in dirty and len(dirty) == len(lines)
+            """)
+        assert findings == []
+
+    def test_rebinding_to_list_disqualifies(self):
+        findings = snippet("""
+            def f(items):
+                bag = set(items)
+                bag = sorted(bag)
+                for item in bag:
+                    yield item
+            """)
+        assert findings == []
+
+
+class TestIdOrdering:
+    def test_flags_key_id(self):
+        findings = snippet("""
+            def order(tbs):
+                return sorted(tbs, key=id)
+            """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_flags_lambda_id(self):
+        findings = snippet("""
+            def order(tbs):
+                tbs.sort(key=lambda tb: id(tb))
+            """)
+        assert rules_of(findings) == ["DET004"]
+
+    def test_quiet_on_stable_key(self):
+        findings = snippet("""
+            def order(tbs):
+                return sorted(tbs, key=lambda tb: tb.tb_id)
+            """)
+        assert findings == []
+
+
+class TestFilesystemOrder:
+    def test_flags_unsorted_listdir(self):
+        findings = snippet("""
+            import os
+            def traces(root):
+                return [name for name in os.listdir(root)]
+            """)
+        assert rules_of(findings) == ["DET005"]
+
+    def test_flags_unsorted_path_glob(self):
+        findings = snippet("""
+            def sources(root):
+                for path in root.rglob("*.py"):
+                    yield path
+            """)
+        assert rules_of(findings) == ["DET005"]
+
+    def test_quiet_when_sorted(self):
+        # harness/cache.py's idiom for the code salt.
+        findings = snippet("""
+            def sources(root):
+                return sorted(root.rglob("*.py"))
+            """)
+        assert findings == []
+
+
+class TestDictKeysIteration:
+    def test_flags_keys_iteration(self):
+        findings = snippet("""
+            def order(quotas):
+                for kernel in quotas.keys():
+                    yield kernel
+            """)
+        assert rules_of(findings) == ["DET006"]
+        assert findings[0].severity == "warning"
+
+    def test_quiet_on_items_and_sorted_keys(self):
+        findings = snippet("""
+            def order(quotas):
+                for kernel, quota in quotas.items():
+                    yield kernel, quota
+                for kernel in sorted(quotas.keys()):
+                    yield kernel
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------- LAY rules
+
+class TestImportContractRule:
+    def test_policy_package_importing_engine(self):
+        findings = snippet(
+            """
+            from repro.sim.engine import GPUSimulator
+            """,
+            name="repro.qos.manager")
+        assert rules_of(findings) == ["LAY001"]
+        assert "policy-engine-independence" in findings[0].message
+
+    def test_engine_importing_harness(self):
+        findings = snippet(
+            """
+            import repro.harness.runner
+            """,
+            name="repro.sim.engine")
+        assert rules_of(findings) == ["LAY001"]
+        assert "engine-harness-independence" in findings[0].message
+
+    def test_runtime_importing_analysis(self):
+        findings = snippet(
+            """
+            from repro.analysis import check_source
+            """,
+            name="repro.sim.telemetry",
+            rule_ids=["LAY001"])
+        assert rules_of(findings) == ["LAY001"]
+        assert "runtime-analysis-independence" in findings[0].message
+
+    def test_relative_import_of_engine_is_caught(self):
+        findings = snippet(
+            """
+            from ..sim import engine
+            """,
+            name="repro.qos.manager")
+        assert rules_of(findings) == ["LAY001"]
+
+    def test_ungoverned_module_may_import_engine(self):
+        findings = snippet(
+            """
+            from repro.sim.engine import GPUSimulator
+            """,
+            name="repro.harness.runner")
+        assert findings == []
+
+    def test_policy_importing_the_context_is_fine(self):
+        findings = snippet(
+            """
+            from repro.sim.policy import PolicyContext, SharingPolicy
+            """,
+            name="repro.qos.manager")
+        assert findings == []
+
+
+class TestPolicyContextSeamRules:
+    def test_flags_attribute_assignment_into_ctx(self):
+        findings = snippet(
+            """
+            class Policy:
+                def on_epoch_start(self, ctx, cycle, epoch_index):
+                    ctx.quota_hint = 42
+            """,
+            name="repro.qos.manager")
+        assert rules_of(findings) == ["LAY002"]
+
+    def test_flags_assignment_via_annotated_param(self):
+        findings = snippet(
+            """
+            def helper(view: "PolicyContext") -> None:
+                view.epoch_cache = {}
+            """,
+            name="repro.sharing.fairness")
+        assert rules_of(findings) == ["LAY002"]
+
+    def test_flags_private_access(self):
+        findings = snippet(
+            """
+            class Policy:
+                def on_epoch_start(self, ctx, cycle, epoch_index):
+                    ctx._engine.sms[0].wake_all()
+            """,
+            name="repro.baselines.spart")
+        assert rules_of(findings) == ["LAY003"]
+
+    def test_quiet_on_public_surface(self):
+        findings = snippet(
+            """
+            class Policy:
+                def on_epoch_start(self, ctx, cycle, epoch_index):
+                    for sm_id in range(ctx.num_sms):
+                        ctx.set_quota(sm_id, 0, 100.0)
+                    local = ctx.epoch
+                    if local is not None:
+                        _ = local.epoch_ipc
+            """,
+            name="repro.qos.manager")
+        assert findings == []
+
+    def test_engine_side_modules_are_exempt(self):
+        # The context's own module assigns its internals freely.
+        findings = snippet(
+            """
+            class PolicyContext:
+                def _advance_epoch(self, ctx):
+                    ctx._view = None
+            """,
+            name="repro.sim.policy",
+            rule_ids=["LAY002", "LAY003"])
+        assert findings == []
+
+
+# ------------------------------------------------------------ project rules
+
+def write_tree(root, files):
+    for relative, source in files.items():
+        path = root / relative
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(source))
+    return root
+
+
+def mini_repro(tmp_path, salted, engine_body="import repro.config\n",
+               extra=None):
+    files = {
+        "src/repro/__init__.py": "",
+        "src/repro/config.py": "EPOCH = 2000\n",
+        "src/repro/sim/__init__.py": "",
+        "src/repro/sim/engine.py": engine_body,
+        "src/repro/harness/__init__.py": "",
+        "src/repro/harness/runner.py": "import repro.sim.engine\n",
+        "src/repro/harness/cache.py": f"_SALTED = {salted!r}\n",
+    }
+    files.update(extra or {})
+    return write_tree(tmp_path, files)
+
+
+class TestSaltCoverage:
+    def test_uncovered_transitive_import_is_flagged(self, tmp_path):
+        root = mini_repro(
+            tmp_path,
+            salted=("sim", "harness/runner.py"),
+            engine_body="import repro.config\n")
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SALT001"])
+        assert rules_of(result.findings) == ["SALT001"]
+        assert "repro.config" in result.findings[0].message
+
+    def test_covered_tree_is_clean(self, tmp_path):
+        root = mini_repro(
+            tmp_path,
+            salted=("config.py", "sim", "harness/runner.py",
+                    "harness/cache.py"),
+            engine_body="import repro.config\n")
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SALT001"])
+        assert result.findings == []
+
+    def test_from_import_of_symbol_resolves_to_module(self, tmp_path):
+        # `from repro.mystery import helper` must pull repro/mystery.py
+        # into the closure even though repro.mystery.helper is a symbol.
+        root = mini_repro(
+            tmp_path,
+            salted=("config.py", "sim", "harness/runner.py",
+                    "harness/cache.py"),
+            engine_body="from repro.mystery import helper\n",
+            extra={"src/repro/mystery.py": "def helper():\n    return 1\n"})
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SALT001"])
+        assert rules_of(result.findings) == ["SALT001"]
+        assert "repro.mystery" in result.findings[0].message
+
+    def test_stale_entry_is_flagged(self, tmp_path):
+        root = mini_repro(
+            tmp_path,
+            salted=("config.py", "sim", "harness/runner.py",
+                    "harness/cache.py", "ghost.py"))
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SALT002"])
+        assert rules_of(result.findings) == ["SALT002"]
+        assert "ghost.py" in result.findings[0].message
+
+    def test_rule_skips_trees_without_the_cache_module(self, tmp_path):
+        root = write_tree(tmp_path, {"standalone.py": "x = 1\n"})
+        result = analyze_paths([root], root=root,
+                               rule_ids=["SALT001", "SALT002"])
+        assert result.findings == []
+
+
+TELEMETRY_TEMPLATE = """
+from dataclasses import dataclass
+
+@dataclass(frozen=True)
+class TBMove:
+    cycle: int
+    sm_id: int
+
+@dataclass(frozen=True)
+class KernelEpochRecord:
+    name: str
+    retired: int
+    epoch_ipc: float
+    alpha: object
+
+@dataclass(frozen=True)
+class EpochRecord:
+    epoch_index: int
+    kernels: tuple
+    tb_moves: tuple
+
+_EPOCH_INT_FIELDS = ({epoch_ints})
+_KERNEL_INT_FIELDS = ("retired",)
+_KERNEL_FLOAT_FIELDS = ("epoch_ipc",)
+_KERNEL_OPT_FIELDS = ("alpha",)
+_TB_MOVE_FIELDS = {tb_fields}
+"""
+
+
+def telemetry_tree(tmp_path, epoch_ints='"epoch_index",',
+                   tb_fields='("cycle", "sm_id")'):
+    return write_tree(tmp_path, {
+        "src/repro/__init__.py": "",
+        "src/repro/sim/__init__.py": "",
+        "src/repro/sim/telemetry.py": TELEMETRY_TEMPLATE.format(
+            epoch_ints=epoch_ints, tb_fields=tb_fields),
+    })
+
+
+class TestTelemetrySchemaSync:
+    def test_synced_fixture_is_clean(self, tmp_path):
+        root = telemetry_tree(tmp_path)
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SCHEMA001"])
+        assert result.findings == []
+
+    def test_missing_table_entry_is_flagged(self, tmp_path):
+        # EpochRecord grows a field the validation tables never learned.
+        root = telemetry_tree(tmp_path, epoch_ints='"epoch_index",')
+        telemetry = root / "src/repro/sim/telemetry.py"
+        telemetry.write_text(telemetry.read_text().replace(
+            "epoch_index: int", "epoch_index: int\n    end_cycle: int"))
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SCHEMA001"])
+        assert rules_of(result.findings) == ["SCHEMA001"]
+        assert "end_cycle" in result.findings[0].message
+
+    def test_orphan_table_entry_is_flagged(self, tmp_path):
+        root = telemetry_tree(tmp_path,
+                              tb_fields='("cycle", "sm_id", "phantom")')
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SCHEMA001"])
+        assert rules_of(result.findings) == ["SCHEMA001"]
+        assert "phantom" in result.findings[0].message
+
+    def test_exporter_must_import_the_validator(self, tmp_path):
+        root = telemetry_tree(tmp_path)
+        write_tree(root, {
+            "src/repro/trace/__init__.py": "",
+            "src/repro/trace/jsonl.py": "import json\n",
+        })
+        result = analyze_paths([root / "src"], root=root,
+                               rule_ids=["SCHEMA001"])
+        assert rules_of(result.findings) == ["SCHEMA001"]
+        assert "validate_epoch_dict" in result.findings[0].message
+
+
+# ------------------------------------------------------------ driver pieces
+
+class TestDriver:
+    def test_unknown_rule_id_raises(self):
+        with pytest.raises(ValueError, match="SALT001"):
+            select_rules(["NOPE999"])
+
+    def test_parse_error_becomes_finding(self, tmp_path):
+        bad = tmp_path / "broken.py"
+        bad.write_text("def broken(:\n")
+        result = analyze_paths([bad], root=tmp_path)
+        assert rules_of(result.findings) == [PARSE_ERROR_RULE]
+
+    def test_pycache_and_egg_info_are_skipped(self, tmp_path):
+        write_tree(tmp_path, {
+            "pkg/__pycache__/junk.py": "import time\ntime.time()\n",
+            "pkg.egg-info/setup.py": "import time\ntime.time()\n",
+            "pkg/ok.py": "x = 1\n",
+        })
+        result = analyze_paths([tmp_path], root=tmp_path)
+        assert result.findings == []
+        assert [m.display for m in result.modules] == ["pkg/ok.py"]
+
+    def test_noqa_lands_in_suppressed(self, tmp_path):
+        source = tmp_path / "mod.py"
+        source.write_text("import time\nt = time.time()  # repro: noqa\n")
+        result = analyze_paths([source], root=tmp_path)
+        assert result.findings == []
+        assert rules_of(result.suppressed) == ["DET001"]
+
+
+# ------------------------------------------------------------- self-check
+
+class TestShippedTreeIsClean:
+    def test_repro_lint_strict_is_clean_on_src_and_examples(self):
+        result = analyze_paths([REPO / "src", REPO / "examples"], root=REPO)
+        assert result.findings == [], "\n".join(
+            finding.format() for finding in result.findings)
+
+    def test_shipped_baseline_is_empty(self):
+        # Every finding in the tree is fixed or inline-justified; the
+        # baseline exists to document the workflow, not to hide debt.
+        from repro.analysis.baseline import load_baseline
+        entries = load_baseline(REPO / ".repro-lint-baseline.json")
+        assert entries == []
+
+    def test_every_registered_rule_has_id_and_summary(self):
+        from repro.analysis import all_rules
+        registry = all_rules()
+        assert {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
+                "LAY001", "LAY002", "LAY003", "SALT001", "SALT002",
+                "SCHEMA001"} <= set(registry)
+        for rule in registry.values():
+            assert rule.summary
+            assert rule.scope in ("module", "project")

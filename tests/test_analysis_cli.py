@@ -1,0 +1,151 @@
+"""`repro lint` CLI behavior: exit codes, baseline workflow, output formats."""
+
+import json
+import pathlib
+
+from repro.analysis.cli import build_lint_parser, main as lint_main
+from repro.cli import main as repro_main
+
+REPO = pathlib.Path(__file__).resolve().parents[1]
+
+DIRTY = "import time\nSTAMP = time.time()\n"
+CLEAN = "def stamp(clock):\n    return clock()\n"
+
+
+def project(tmp_path, source=DIRTY):
+    target = tmp_path / "mod.py"
+    target.write_text(source)
+    return target
+
+
+class TestParser:
+    def test_defaults(self):
+        args = build_lint_parser().parse_args([])
+        assert args.paths == []
+        assert not args.strict
+        assert args.rules is None
+        assert args.format == "human"
+
+    def test_rules_accumulate(self):
+        args = build_lint_parser().parse_args(
+            ["--rule", "DET001", "--rule", "LAY001"])
+        assert args.rules == ["DET001", "LAY001"]
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        target = project(tmp_path, CLEAN)
+        assert lint_main([str(target)]) == 0
+        assert lint_main(["--strict", str(target)]) == 0
+
+    def test_findings_without_strict_exit_zero(self, tmp_path, capsys):
+        target = project(tmp_path)
+        assert lint_main([str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+    def test_findings_with_strict_exit_one(self, tmp_path, capsys):
+        target = project(tmp_path)
+        assert lint_main(["--strict", str(target)]) == 1
+
+    def test_unknown_rule_exits_two(self, tmp_path, capsys):
+        target = project(tmp_path, CLEAN)
+        assert lint_main(["--rule", "NOPE999", str(target)]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE999" in err and "known rules" in err
+
+    def test_missing_path_exits_two(self, tmp_path, capsys):
+        assert lint_main([str(tmp_path / "ghost.py")]) == 2
+
+    def test_missing_baseline_exits_two(self, tmp_path, capsys):
+        target = project(tmp_path, CLEAN)
+        assert lint_main(["--baseline", str(tmp_path / "nope.json"),
+                          str(target)]) == 2
+
+    def test_rule_selection_limits_findings(self, tmp_path, capsys):
+        target = project(tmp_path)
+        # DET003 alone does not see the wall-clock read.
+        assert lint_main(["--strict", "--rule", "DET003", str(target)]) == 0
+
+    def test_noqa_keeps_strict_green(self, tmp_path, capsys):
+        target = project(
+            tmp_path, "import time\nSTAMP = time.time()  # repro: noqa\n")
+        assert lint_main(["--strict", str(target)]) == 0
+        err = capsys.readouterr().err
+        assert "1 noqa-suppressed" in err
+
+
+class TestBaselineWorkflow:
+    def test_write_then_strict_passes_on_old_findings_only(self, tmp_path,
+                                                           capsys):
+        target = project(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(["--baseline", str(baseline), "--write-baseline",
+                          str(target)]) == 0
+        assert baseline.exists()
+
+        # Grandfathered finding: strict stays green.
+        assert lint_main(["--strict", "--baseline", str(baseline),
+                          str(target)]) == 0
+
+        # A *new* finding still fails strict while the old one stays
+        # baselined.
+        target.write_text(DIRTY + "import random\nPICK = random.random()\n")
+        assert lint_main(["--strict", "--baseline", str(baseline),
+                          str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DET002" in out
+        assert "(baselined)" in out  # the DET001 line is labelled
+
+    def test_stale_entries_are_reported(self, tmp_path, capsys):
+        target = project(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        assert lint_main(["--baseline", str(baseline), "--write-baseline",
+                          str(target)]) == 0
+        target.write_text(CLEAN)
+        assert lint_main(["--strict", "--baseline", str(baseline),
+                          str(target)]) == 0
+        err = capsys.readouterr().err
+        assert "no longer matched" in err
+
+    def test_malformed_baseline_exits_two(self, tmp_path, capsys):
+        target = project(tmp_path, CLEAN)
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text('{"version": 99, "entries": []}')
+        assert lint_main(["--baseline", str(baseline), str(target)]) == 2
+
+
+class TestOutputFormats:
+    def test_json_report(self, tmp_path, capsys):
+        target = project(tmp_path)
+        assert lint_main(["--format", "json", str(target)]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["counts"]["new"] == 1
+        assert payload["counts"]["modules"] == 1
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "DET001"
+        assert finding["line"] == 2
+        assert not finding["baselined"]
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("DET001", "LAY001", "SALT001", "SCHEMA001"):
+            assert rule_id in out
+
+
+class TestReproCliDispatch:
+    def test_lint_subcommand_routes_through_main_cli(self, tmp_path, capsys):
+        target = project(tmp_path)
+        assert repro_main(["lint", "--strict", str(target)]) == 1
+        out = capsys.readouterr().out
+        assert "DET001" in out
+
+
+class TestSelfCheck:
+    def test_strict_lint_is_clean_on_the_shipped_tree(self, capsys):
+        paths = [str(REPO / "src"), str(REPO / "examples")]
+        code = repro_main(["lint", "--strict", "--baseline",
+                           str(REPO / ".repro-lint-baseline.json"), *paths])
+        output = capsys.readouterr()
+        assert code == 0, output.out + output.err

@@ -159,6 +159,13 @@ class TestTelemetryKeying:
         assert "sim/telemetry.py" in paths
         assert "harness/runner.py" in paths
 
+    def test_salt_covers_the_cache_module_itself(self):
+        # Keying and record (de)serialisation live in harness/cache.py;
+        # editing them redefines what a stored entry means, so the salt
+        # must cover the module (surfaced by `repro lint` rule SALT001).
+        from repro.harness.cache import salted_paths
+        assert "harness/cache.py" in salted_paths()
+
     def test_telemetry_record_round_trips(self):
         record = CaseRunner(FAST_GPU, CYCLES, telemetry=True).run_pair(
             "sgemm", "lbm", 0.5, "rollover")

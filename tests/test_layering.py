@@ -1,63 +1,97 @@
-"""Architectural layering: policies may not import the engine.
+"""Architectural layering, enforced through the `repro lint` analyzer.
 
-Policies consume the narrow :class:`repro.sim.policy.PolicyContext` surface;
-the engine imports *them* (through the harness), never the reverse.  This
-module walks the AST of every source file in the policy-side packages and
-fails if any of them imports ``repro.sim.engine`` — the inverted dependency
-this refactor removed — so it cannot silently creep back in.
+The hand-rolled AST walk this file used to carry became the analyzer's
+declarative import contracts (:data:`repro.analysis.rules.IMPORT_CONTRACTS`,
+rule LAY001) plus the PolicyContext seam rules (LAY002/LAY003).  These
+tests drive the same rules through the analyzer API — one source of truth —
+so a contract violation fails here with the rule's own actionable message,
+and the contract table itself is sanity-checked against the live tree.
 """
 
-import ast
 import pathlib
 
 import pytest
 
-SRC = pathlib.Path(__file__).resolve().parents[1] / "src" / "repro"
+from repro.analysis import analyze_paths
+from repro.analysis.rules import IMPORT_CONTRACTS, POLICY_SIDE_PACKAGES
 
-#: Packages that must stay engine-free: they see only the PolicyContext.
-POLICY_PACKAGES = ("qos", "baselines", "sharing")
+REPO = pathlib.Path(__file__).resolve().parents[1]
+SRC = REPO / "src"
 
-FORBIDDEN = "repro.sim.engine"
-
-
-def policy_sources():
-    files = []
-    for package in POLICY_PACKAGES:
-        files.extend(sorted((SRC / package).rglob("*.py")))
-    assert files, "policy packages not found — did the layout change?"
-    return files
+LAYERING_RULES = ("LAY001", "LAY002", "LAY003")
 
 
-def imports_of(path: pathlib.Path):
-    """Every module name imported by ``path`` (absolute form)."""
-    tree = ast.parse(path.read_text(), filename=str(path))
-    found = []
-    for node in ast.walk(tree):
-        if isinstance(node, ast.Import):
-            found.extend(alias.name for alias in node.names)
-        elif isinstance(node, ast.ImportFrom):
-            if node.module:
-                found.append(node.module)
-    return found
+def layering_findings():
+    result = analyze_paths([SRC], root=REPO, rule_ids=list(LAYERING_RULES))
+    return result
 
 
-class TestPolicyLayering:
-    @pytest.mark.parametrize("path", policy_sources(),
-                             ids=lambda p: str(p.relative_to(SRC)))
-    def test_never_imports_engine(self, path):
-        offenders = [name for name in imports_of(path)
-                     if name == FORBIDDEN or name.startswith(FORBIDDEN + ".")]
-        assert not offenders, (
-            f"{path.relative_to(SRC)} imports {offenders}; policies must "
-            "use repro.sim.policy.PolicyContext instead of the engine")
+@pytest.fixture(scope="module")
+def analysis():
+    return layering_findings()
 
-    def test_policy_module_itself_is_engine_free(self):
-        # The contract's home must honour it too (engine imports policy).
-        offenders = [name for name in imports_of(SRC / "sim" / "policy.py")
-                     if name == FORBIDDEN or name.startswith(FORBIDDEN + ".")]
-        assert not offenders
 
-    def test_forbidden_module_exists(self):
-        # Guard the guard: if the engine module moves, the scan above would
-        # pass vacuously.
-        assert (SRC / "sim" / "engine.py").exists()
+class TestImportContracts:
+    @pytest.mark.parametrize(
+        "contract", IMPORT_CONTRACTS, ids=lambda c: c.name)
+    def test_contract_holds(self, analysis, contract):
+        offenders = [
+            finding for finding in analysis.findings
+            if finding.rule == "LAY001" and contract.name in finding.message]
+        assert not offenders, "\n".join(
+            finding.format() for finding in offenders)
+
+    def test_policy_engine_contract_governs_all_policy_packages(self):
+        # The generalised table must not silently drop the original
+        # invariant: every policy-side package stays under the
+        # engine-independence contract.
+        contract = next(c for c in IMPORT_CONTRACTS
+                        if c.name == "policy-engine-independence")
+        for package in POLICY_SIDE_PACKAGES:
+            assert package in contract.packages
+        assert "repro.sim.engine" in contract.forbidden
+        # The contract's home must honour it too (the engine imports
+        # repro.sim.policy, never the reverse).
+        assert "repro.sim.policy" in contract.packages
+
+    def test_governed_packages_exist(self):
+        # Guard the guard: if a governed package is renamed, the contract
+        # would pass vacuously.
+        for contract in IMPORT_CONTRACTS:
+            for package in contract.packages:
+                relative = pathlib.Path(*package.split(".")[1:])
+                target = SRC / "repro" / relative
+                assert (target.is_dir()
+                        or target.with_suffix(".py").is_file()), (
+                    f"contract '{contract.name}' governs {package}, which "
+                    "no longer exists — update IMPORT_CONTRACTS")
+
+    def test_forbidden_engine_module_exists(self):
+        # ... and likewise for the module the contracts forbid.
+        assert (SRC / "repro" / "sim" / "engine.py").exists()
+
+
+class TestPolicyContextSeam:
+    def test_no_attribute_assignment_into_context(self, analysis):
+        offenders = [finding for finding in analysis.findings
+                     if finding.rule == "LAY002"]
+        assert not offenders, "\n".join(
+            finding.format() for finding in offenders)
+
+    def test_no_private_context_access(self, analysis):
+        offenders = [finding for finding in analysis.findings
+                     if finding.rule == "LAY003"]
+        assert not offenders, "\n".join(
+            finding.format() for finding in offenders)
+
+
+class TestAnalyzerSeesTheTree:
+    def test_policy_packages_are_analyzed(self, analysis):
+        # If the analyzer's file discovery broke, every layering test above
+        # would pass vacuously; require the policy packages to be present.
+        names = {module.name for module in analysis.modules}
+        for package in POLICY_SIDE_PACKAGES:
+            assert any(name == package or name.startswith(package + ".")
+                       for name in names), (
+                f"{package} was not analyzed — file discovery regressed?")
+        assert "repro.sim.engine" in names
