@@ -46,11 +46,12 @@ IMPORT_CONTRACTS: Tuple[ImportContract, ...] = (
     ImportContract(
         name="policy-engine-independence",
         packages=("repro.qos", "repro.baselines", "repro.sharing",
-                  "repro.trace", "repro.sim.policy"),
+                  "repro.controllers", "repro.trace", "repro.sim.policy"),
         forbidden=("repro.sim.engine",),
-        rationale=("policies and trace tooling observe and actuate only "
-                   "through repro.sim.policy.PolicyContext; the engine "
-                   "imports them, never the reverse"),
+        rationale=("policies, quota controllers and trace tooling observe "
+                   "and actuate only through "
+                   "repro.sim.policy.PolicyContext; the engine imports "
+                   "them, never the reverse"),
     ),
     ImportContract(
         name="engine-harness-independence",
@@ -63,8 +64,8 @@ IMPORT_CONTRACTS: Tuple[ImportContract, ...] = (
         name="runtime-analysis-independence",
         packages=("repro.config", "repro.isa", "repro.kernels", "repro.sim",
                   "repro.qos", "repro.baselines", "repro.sharing",
-                  "repro.power", "repro.harness", "repro.trace",
-                  "repro.osched"),
+                  "repro.controllers", "repro.power", "repro.harness",
+                  "repro.trace", "repro.osched"),
         forbidden=("repro.analysis",),
         rationale=("the linter is development tooling; runtime modules must "
                    "never depend on it (only the CLI dispatches into it)"),
@@ -106,7 +107,8 @@ class ImportContractRule(Rule):
 
 #: Packages whose code runs on the policy side of the PolicyContext seam.
 POLICY_SIDE_PACKAGES: Tuple[str, ...] = (
-    "repro.qos", "repro.baselines", "repro.sharing", "repro.trace")
+    "repro.qos", "repro.baselines", "repro.sharing", "repro.controllers",
+    "repro.trace")
 
 
 def _is_policy_side(module_name: str) -> bool:

@@ -12,6 +12,8 @@ Examples::
     repro-gpu-qos cache clear
     repro-gpu-qos trace mri-q lbm -o case.jsonl   # per-epoch telemetry
     repro-gpu-qos lint --strict               # static invariant checks
+    repro-gpu-qos controllers compare         # SLO controller evaluation
+    repro-gpu-qos controllers bench --quick   # CI smoke for controllers
     python -m repro fig14
 
 Environment knobs: ``REPRO_WORKERS`` sets the default process-pool width,
@@ -39,7 +41,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig06a, table1, sec48_history), "
-             "'all', 'list', 'cache', 'trace', or 'lint'")
+             "'all', 'list', 'cache', 'trace', 'lint', or 'controllers'")
     parser.add_argument(
         "action", nargs="?", default=None,
         help="subcommand for 'cache': stats or clear")
@@ -157,13 +159,16 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # 'trace' and 'lint' have their own option grammars; dispatch before
-    # the main parse.
+    # 'trace', 'lint' and 'controllers' have their own option grammars;
+    # dispatch before the main parse.
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])
+    if argv and argv[0] == "controllers":
+        from repro.controllers.cli import main as controllers_main
+        return controllers_main(argv[1:])
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
         for experiment_id in ExperimentSuite.EXPERIMENTS:

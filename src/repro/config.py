@@ -129,6 +129,56 @@ class PreemptionConfig:
 
 
 @dataclass(frozen=True)
+class ControllerConfig:
+    """Gain presets for the pluggable SLO quota controllers
+    (:mod:`repro.controllers`).
+
+    Living on :class:`GPUConfig` makes every gain part of the machine
+    description — it is hashed into persistent case-cache keys, so tuning a
+    gain can never serve a stale cached record.
+
+    PID terms act on the *normalised* IPC-goal residual
+    ``(goal - epoch_ipc) / goal``; the controller output is a quota scale
+    (the alpha of Section 3.4.2), clamped to ``[alpha_floor, alpha_cap]``
+    with conditional-integration anti-windup at the clamps.
+
+    The MPC controller fits a linear epoch-IPC-vs-quota-scale model over a
+    ring of the last ``mpc_history`` epochs and evaluates
+    ``mpc_candidates`` equally spaced candidate scales, rejecting those
+    predicted to push aggregate non-QoS IPC below ``mpc_nonqos_floor``
+    times its observed peak; with fewer than ``mpc_min_points`` usable
+    points (or a degenerate/non-positive slope) it falls back to the
+    History control law.
+    """
+
+    alpha_floor: float = 0.25
+    alpha_cap: float = 8.0
+    pid_kp: float = 1.2
+    pid_ki: float = 0.5
+    pid_kd: float = 0.3
+    pid_integral_limit: float = 12.0
+    mpc_history: int = 8
+    mpc_min_points: int = 4
+    mpc_candidates: int = 25
+    mpc_nonqos_floor: float = 0.4
+    mpc_overshoot_weight: float = 0.25
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.alpha_floor <= 1.0:
+            raise ValueError("alpha_floor must be in (0, 1]")
+        if self.alpha_cap < 1.0:
+            raise ValueError("alpha_cap must be at least 1")
+        if self.pid_integral_limit <= 0:
+            raise ValueError("pid_integral_limit must be positive")
+        if self.mpc_history < 2 or self.mpc_min_points < 2:
+            raise ValueError("MPC needs at least two history points")
+        if self.mpc_candidates < 2:
+            raise ValueError("mpc_candidates must be at least 2")
+        if not 0.0 <= self.mpc_nonqos_floor < 1.0:
+            raise ValueError("mpc_nonqos_floor must be in [0, 1)")
+
+
+@dataclass(frozen=True)
 class GPUConfig:
     """Complete machine description handed to :class:`repro.sim.GPUSimulator`."""
 
@@ -147,6 +197,7 @@ class GPUConfig:
     sm: SMConfig = field(default_factory=SMConfig)
     memory: MemoryConfig = field(default_factory=MemoryConfig)
     preemption: PreemptionConfig = field(default_factory=PreemptionConfig)
+    controller: ControllerConfig = field(default_factory=ControllerConfig)
 
     def __post_init__(self) -> None:
         if self.num_sms <= 0:

@@ -1,0 +1,144 @@
+"""The :class:`QuotaController` seam — pluggable SLO control laws.
+
+The paper's four quota schemes share one fixed control law: the
+history-based alpha of Section 3.4.2 scales each QoS kernel's epoch quota
+by ``max(goal / cumulative_ipc, 1)``.  The ROADMAP's SLO-controller item
+asks for that law to become *pluggable*, so PID and model-predictive
+controllers (datacenter-style SLO tracking, cf. Hummingbird and
+arXiv 2005.02088) can drive the same quota machinery.
+
+A :class:`QuotaController` owns exactly one decision: given the closing
+epoch's measurement (the frozen :class:`~repro.sim.policy.EpochView`,
+observed through the :class:`~repro.sim.policy.PolicyContext`), what
+*quota scale* should each QoS kernel get next epoch?  The scale multiplies
+``ipc_goal * epoch_length`` — scale 1.0 requests exactly the goal's worth
+of instructions; scale 2.0 requests a catch-up double grant.  Everything
+else — quota distribution across SMs, boundary carry accounting (the
+:class:`~repro.qos.quota.QuotaScheme`), non-QoS goal search, TB
+reallocation — stays in :class:`~repro.qos.manager.QoSPolicy`, which is
+the plant interface every controller shares.
+
+:class:`SchemeController` adapts the paper's law behind the seam with
+float-for-float identical arithmetic (the golden differential tests pin
+this), so ``naive``/``history``/``elastic``/``rollover`` runs are
+bit-identical before and after the adaptation.
+
+Controllers are engine-independent by construction: this package may not
+import :mod:`repro.sim.engine` (enforced by the LAY001 import contract)
+and sees the machine only through the context.  Controller state is pure
+function-of-inputs — no clocks, no RNG — so cached case records stay
+replayable; gains live in :class:`repro.config.ControllerConfig` so they
+hash into persistent cache keys.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Sequence
+
+from repro.config import ControllerConfig, GPUConfig
+from repro.sim.policy import EpochView, PolicyContext
+
+#: Upper bound on the quota scale shared by every controller (Section 3.4.3
+#: observes that more aggressive alpha adjustment lowers total throughput).
+#: :data:`repro.qos.manager.ALPHA_CAP` re-exports this for compatibility.
+ALPHA_CAP = 8.0
+
+
+@dataclass(frozen=True)
+class ControllerState:
+    """One QoS kernel's controller internals for one epoch, for telemetry.
+
+    ``error`` is the normalised goal residual the controller acted on,
+    ``integral`` the accumulated (anti-windup-clamped) residual for
+    integral-action controllers, and ``prediction`` the model-predicted
+    epoch IPC for predictive controllers; fields a controller does not
+    compute stay ``None``.
+    """
+
+    error: Optional[float] = None
+    integral: Optional[float] = None
+    prediction: Optional[float] = None
+
+
+#: State reported for kernels a controller holds no internals for.
+EMPTY_STATE = ControllerState()
+
+
+class QuotaController:
+    """Base quota controller: a constant scale of 1.0 (quota == goal).
+
+    Lifecycle: the owning :class:`~repro.qos.manager.QoSPolicy` calls
+    :meth:`start` once at policy setup, then :meth:`on_epoch` at every
+    epoch boundary after measurement; the returned mapping must contain a
+    scale for every QoS kernel index.  :meth:`state` exposes the
+    controller's internals for the telemetry stream (recording is
+    observational — a controller must never behave differently because
+    telemetry is on).
+    """
+
+    name = "constant"
+
+    def __init__(self) -> None:
+        self.qos_indices: Sequence[int] = ()
+        self.goals: Mapping[int, float] = {}
+        self.tuning: ControllerConfig = ControllerConfig()
+
+    def start(self, config: GPUConfig, qos_indices: Sequence[int],
+              goals: Mapping[int, float]) -> None:
+        """Bind the controller to its plant: machine config, QoS kernel
+        indices, and their absolute IPC goals."""
+        self.qos_indices = tuple(qos_indices)
+        self.goals = dict(goals)
+        self.tuning = config.controller
+
+    def on_epoch(self, ctx: PolicyContext, view: EpochView) -> Dict[int, float]:
+        """Quota scale per QoS kernel for the epoch that just opened."""
+        return {idx: 1.0 for idx in self.qos_indices}
+
+    def state(self, kernel_idx: int) -> ControllerState:
+        """Telemetry snapshot of the controller's internals for a kernel."""
+        return EMPTY_STATE
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class SchemeController(QuotaController):
+    """The paper's history-based law behind the controller seam.
+
+    Reproduces :meth:`QoSPolicy._update_alphas` exactly — same
+    expressions, same operand order, same cap — so the four paper schemes
+    adapted onto this controller stay bit-identical to the pre-seam
+    implementation.  ``use_history=False`` is the Naïve family's fixed
+    scale of 1.0.
+    """
+
+    name = "scheme"
+
+    def __init__(self, use_history: bool = True,
+                 alpha_cap: float = ALPHA_CAP) -> None:
+        super().__init__()
+        self.use_history = use_history
+        self.alpha_cap = alpha_cap
+
+    def on_epoch(self, ctx: PolicyContext, view: EpochView) -> Dict[int, float]:
+        if not self.use_history:
+            return {idx: 1.0 for idx in self.qos_indices}
+        scales: Dict[int, float] = {}
+        for idx in self.qos_indices:
+            history = view.cumulative_ipc[idx]
+            if history <= 0:
+                scales[idx] = self.alpha_cap
+            else:
+                scales[idx] = min(self.alpha_cap,
+                                  max(1.0, self.goals[idx] / history))
+        return scales
+
+
+def history_fallback_scale(goal: float, cumulative_ipc: float,
+                           alpha_cap: float) -> float:
+    """The Section 3.4.2 law as a free function (the MPC fallback path)."""
+    if cumulative_ipc <= 0:
+        return alpha_cap
+    return min(alpha_cap, max(1.0, goal / cumulative_ipc))

@@ -1,0 +1,182 @@
+"""Controller scoring: turn telemetry streams into comparable metrics.
+
+One simulated co-run case yields a :class:`~repro.harness.runner.CaseRecord`
+whose per-epoch telemetry stream records, for every QoS kernel, the IPC goal
+in force and the IPC the epoch actually delivered.  :func:`score_case`
+condenses that trajectory into the four numbers the controller comparison
+table reports:
+
+``qos_attainment``
+    Fraction of controlled epochs in which the QoS kernel met its goal
+    (same 0.1 % tolerance as :attr:`KernelOutcome.reached`).  The paper's
+    Figure 6 reports end-of-run attainment; the per-epoch form also
+    penalises controllers that oscillate around the goal.
+``overshoot``
+    Mean positive relative excess ``max(0, ipc/goal - 1)`` over controlled
+    epochs — quota spent above the goal is throughput taken from non-QoS
+    kernels (the Figure 9 concern, in per-epoch form).
+``settling_epochs``
+    Index of the first epoch after which the kernel never again falls
+    below ``(1 - band)`` of goal — how long the control loop takes to
+    converge.  A kernel that never settles scores the full epoch count.
+``nonqos_stp``
+    Aggregate non-QoS system throughput (sum of IPC normalised to
+    isolated execution, Figure 8's metric) over the measurement window —
+    what the controller's conservatism buys for everyone else.
+
+Scores are pure functions of the record — scoring never re-simulates — so
+a warm case cache makes ``repro controllers compare`` nearly free.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.harness.runner import CaseRecord
+
+#: Goal tolerance shared with :attr:`KernelOutcome.reached`.
+GOAL_TOLERANCE = 0.999
+
+#: Relative band below goal a kernel may not re-enter once "settled".
+SETTLE_BAND = 0.05
+
+
+@dataclass(frozen=True)
+class CaseScore:
+    """Controller metrics of one co-run case (QoS kernels averaged)."""
+
+    workload: str
+    policy: str
+    epochs: int
+    qos_attainment: float
+    overshoot: float
+    settling_epochs: float
+    nonqos_stp: float
+    qos_met: bool
+
+
+def _kernel_trajectory(record: CaseRecord,
+                       name: str) -> List[Tuple[float, float]]:
+    """``(epoch_ipc, ipc_goal)`` for every controlled epoch of a kernel."""
+    trajectory = []
+    for epoch in record.telemetry:
+        for kernel in epoch.kernels:
+            if kernel.name == name and kernel.ipc_goal is not None:
+                trajectory.append((kernel.epoch_ipc, kernel.ipc_goal))
+    return trajectory
+
+
+def settling_epochs(trajectory: Sequence[Tuple[float, float]],
+                    band: float = SETTLE_BAND) -> float:
+    """First epoch index after which IPC stays within ``band`` of goal."""
+    settled_at = len(trajectory)
+    for index in range(len(trajectory) - 1, -1, -1):
+        ipc, goal = trajectory[index]
+        if ipc < (1.0 - band) * goal:
+            break
+        settled_at = index
+    return float(settled_at)
+
+
+def score_case(record: CaseRecord, workload: str) -> CaseScore:
+    """Score one telemetry-bearing case record (see module docstring)."""
+    if not record.telemetry:
+        raise ValueError(
+            "case record carries no telemetry; run it with telemetry=True")
+    attainment: List[float] = []
+    overshoot: List[float] = []
+    settling: List[float] = []
+    epochs = len(record.telemetry)
+    for outcome in record.qos_kernels:
+        trajectory = _kernel_trajectory(record, outcome.name)
+        if not trajectory:
+            continue
+        met = sum(1 for ipc, goal in trajectory
+                  if ipc >= goal * GOAL_TOLERANCE)
+        attainment.append(met / len(trajectory))
+        overshoot.append(math.fsum(max(0.0, ipc / goal - 1.0)
+                                   for ipc, goal in trajectory)
+                         / len(trajectory))
+        settling.append(settling_epochs(trajectory))
+    nonqos_stp = math.fsum(k.normalized_throughput
+                           for k in record.nonqos_kernels)
+
+    def mean(values: List[float]) -> float:
+        return math.fsum(values) / len(values) if values else 0.0
+
+    return CaseScore(
+        workload=workload,
+        policy=record.policy,
+        epochs=epochs,
+        qos_attainment=mean(attainment),
+        overshoot=mean(overshoot),
+        settling_epochs=mean(settling),
+        nonqos_stp=nonqos_stp,
+        qos_met=record.qos_met,
+    )
+
+
+def aggregate_scores(scores: Sequence[CaseScore]) -> Dict[str, float]:
+    """Mean of each metric over a controller's per-workload scores."""
+    count = len(scores)
+    if count == 0:
+        raise ValueError("no scores to aggregate")
+    return {
+        "qos_attainment": math.fsum(s.qos_attainment for s in scores) / count,
+        "overshoot": math.fsum(s.overshoot for s in scores) / count,
+        "settling_epochs": math.fsum(s.settling_epochs for s in scores) / count,
+        "nonqos_stp": math.fsum(s.nonqos_stp for s in scores) / count,
+        "qos_met_rate": sum(1 for s in scores if s.qos_met) / count,
+    }
+
+
+# ------------------------------------------------------------- formatting
+
+def format_score_row(label: str, metrics: Dict[str, float],
+                     label_width: int) -> str:
+    return (f"{label.ljust(label_width)}"
+            f"{100.0 * metrics['qos_attainment']:9.1f}"
+            f"{metrics['overshoot']:11.3f}"
+            f"{metrics['settling_epochs']:9.1f}"
+            f"{metrics['nonqos_stp']:12.3f}"
+            f"{100.0 * metrics['qos_met_rate']:10.0f}")
+
+
+def format_comparison(scores_by_policy: Dict[str, List[CaseScore]],
+                      title: str) -> str:
+    """The committed comparison table: one aggregate row per controller,
+    then a per-workload breakdown block."""
+    policies = list(scores_by_policy)
+    workloads: List[str] = []
+    for scores in scores_by_policy.values():
+        for score in scores:
+            if score.workload not in workloads:
+                workloads.append(score.workload)
+    label_width = max(len(p) for p in policies) + 2
+    header = (f"{'policy'.ljust(label_width)}{'attain%':>9}{'overshoot':>11}"
+              f"{'settle':>9}{'nonqos-STP':>12}{'met%':>10}")
+    lines = [title, "=" * len(title), header, "-" * len(header)]
+    for policy in policies:
+        metrics = aggregate_scores(scores_by_policy[policy])
+        lines.append(format_score_row(policy, metrics, label_width))
+    lines.append("")
+    lines.append(f"per-workload breakdown ({len(workloads)} workloads)")
+    for workload in workloads:
+        lines.append("")
+        lines.append(f"[{workload}]")
+        lines.append(header)
+        lines.append("-" * len(header))
+        for policy in policies:
+            for score in scores_by_policy[policy]:
+                if score.workload == workload:
+                    lines.append(format_score_row(
+                        policy, {
+                            "qos_attainment": score.qos_attainment,
+                            "overshoot": score.overshoot,
+                            "settling_epochs": score.settling_epochs,
+                            "nonqos_stp": score.nonqos_stp,
+                            "qos_met_rate": 1.0 if score.qos_met else 0.0,
+                        }, label_width))
+    return "\n".join(lines)

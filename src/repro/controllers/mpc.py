@@ -1,0 +1,163 @@
+"""Model-predictive quota control: fit, predict, pick, fall back.
+
+Every epoch the controller records what the plant actually did — the quota
+scale it applied and the per-epoch IPC that resulted — into a short history
+ring (``mpc_history`` epochs).  At each boundary it:
+
+1. **fits** a one-step linear plant model ``ipc ~= a + b * scale`` per QoS
+   kernel by least squares over the ring (and a companion model of the
+   aggregate non-QoS IPC against the same scale, which captures how hard
+   boosting the QoS kernel squeezes everyone else);
+2. **predicts** next epoch's IPC for ``mpc_candidates`` equally spaced
+   candidate scales in ``[alpha_floor, alpha_cap]``;
+3. **picks** the candidate minimising predicted goal miss plus
+   ``mpc_overshoot_weight`` times predicted overshoot, subject to the
+   non-QoS throughput floor (predicted aggregate non-QoS IPC at least
+   ``mpc_nonqos_floor`` of its observed peak) — smaller scales win ties,
+   so the controller never burns non-QoS throughput for nothing;
+4. **falls back** to the History law (Section 3.4.2) while the model is
+   degenerate: fewer than ``mpc_min_points`` ring entries, no variance in
+   the applied scales (nothing to regress on), or a non-positive fitted
+   slope (more quota should never mean less IPC; a fit saying otherwise
+   is noise).
+
+The ring is controller-internal state, deliberately *not* read from the
+telemetry stream: controllers must behave identically with telemetry on
+and off.  All knobs live in :class:`repro.config.ControllerConfig`, so
+they participate in persistent case-cache keys.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.controllers.base import (
+    ControllerState,
+    QuotaController,
+    history_fallback_scale,
+)
+from repro.sim.policy import EpochView, PolicyContext
+
+
+def fit_line(points: List[Tuple[float, float]]) -> Optional[Tuple[float, float]]:
+    """Least-squares ``(intercept, slope)`` of y on x, or None when the x
+    values carry (numerically) no variance to regress on."""
+    count = len(points)
+    if count < 2:
+        return None
+    mean_x = sum(x for x, _y in points) / count
+    mean_y = sum(y for _x, y in points) / count
+    var_x = sum((x - mean_x) ** 2 for x, _y in points)
+    if var_x <= 1e-12 * count:
+        return None
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in points)
+    slope = cov / var_x
+    return mean_y - slope * mean_x, slope
+
+
+class MPCQuotaController(QuotaController):
+    """Short-horizon linear MPC over the quota scale, History fallback."""
+
+    name = "mpc"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: Per-kernel ring of (applied scale, measured epoch IPC).
+        self._ring: Dict[int, List[Tuple[float, float]]] = {}
+        #: Ring of (applied mean QoS scale, aggregate non-QoS epoch IPC).
+        self._nonqos_ring: List[Tuple[float, float]] = []
+        self._applied: Dict[int, float] = {}
+        self._state: Dict[int, ControllerState] = {}
+        self._nonqos_indices: Tuple[int, ...] = ()
+
+    def start(self, config, qos_indices, goals) -> None:
+        super().start(config, qos_indices, goals)
+        self._ring = {idx: [] for idx in self.qos_indices}
+        self._nonqos_ring = []
+        # Epoch 0's refresh runs with the initial scale of 1.0.
+        self._applied = {idx: 1.0 for idx in self.qos_indices}
+        self._state = {}
+        self._nonqos_indices = ()
+
+    def _candidates(self) -> List[float]:
+        tuning = self.tuning
+        span = tuning.alpha_cap - tuning.alpha_floor
+        steps = tuning.mpc_candidates - 1
+        return [tuning.alpha_floor + span * step / steps
+                for step in range(tuning.mpc_candidates)]
+
+    def on_epoch(self, ctx: PolicyContext, view: EpochView) -> Dict[int, float]:
+        tuning = self.tuning
+        if not self._nonqos_indices:
+            self._nonqos_indices = tuple(
+                idx for idx in range(ctx.num_kernels)
+                if idx not in self._ring)
+        # Log what the plant just did under the scales applied last epoch.
+        for idx in self.qos_indices:
+            ring = self._ring[idx]
+            ring.append((self._applied[idx], view.epoch_ipc[idx]))
+            if len(ring) > tuning.mpc_history:
+                del ring[0]
+        if self.qos_indices:
+            mean_scale = (sum(self._applied[idx] for idx in self.qos_indices)
+                          / len(self.qos_indices))
+            nonqos_ipc = sum(view.epoch_ipc[idx]
+                             for idx in self._nonqos_indices)
+            self._nonqos_ring.append((mean_scale, nonqos_ipc))
+            if len(self._nonqos_ring) > tuning.mpc_history:
+                del self._nonqos_ring[0]
+
+        nonqos_model = fit_line(self._nonqos_ring)
+        nonqos_peak = max((ipc for _s, ipc in self._nonqos_ring), default=0.0)
+        scales: Dict[int, float] = {}
+        for idx in self.qos_indices:
+            goal = self.goals[idx]
+            ring = self._ring[idx]
+            error = (goal - view.epoch_ipc[idx]) / goal if goal > 0 else 0.0
+            model = (fit_line(ring)
+                     if len(ring) >= tuning.mpc_min_points else None)
+            if model is None or model[1] <= 0:
+                scale = history_fallback_scale(goal, view.cumulative_ipc[idx],
+                                               tuning.alpha_cap)
+                self._state[idx] = ControllerState(error=error)
+            else:
+                scale, predicted = self._optimise(goal, model, nonqos_model,
+                                                  nonqos_peak)
+                self._state[idx] = ControllerState(error=error,
+                                                   prediction=predicted)
+            self._applied[idx] = scale
+            scales[idx] = scale
+        return scales
+
+    def _optimise(self, goal: float, model: Tuple[float, float],
+                  nonqos_model: Optional[Tuple[float, float]],
+                  nonqos_peak: float) -> Tuple[float, float]:
+        """Best (scale, predicted IPC) over the candidate grid."""
+        tuning = self.tuning
+        intercept, slope = model
+        floor = tuning.mpc_nonqos_floor * nonqos_peak
+
+        def feasible(scale: float) -> bool:
+            if nonqos_model is None or nonqos_peak <= 0:
+                return True
+            predicted_nonqos = nonqos_model[0] + nonqos_model[1] * scale
+            return predicted_nonqos >= floor
+
+        best: Optional[Tuple[float, float, float]] = None
+        for pass_feasibility in (True, False):
+            for scale in self._candidates():
+                if pass_feasibility and not feasible(scale):
+                    continue
+                predicted = intercept + slope * scale
+                miss = max(0.0, goal - predicted) / goal
+                over = max(0.0, predicted - goal) / goal
+                cost = miss + tuning.mpc_overshoot_weight * over
+                # Strict '<' keeps the smallest tied scale (grid ascends).
+                if best is None or cost < best[0]:
+                    best = (cost, scale, predicted)
+            if best is not None:
+                break  # the constrained pass found a candidate
+        return best[1], best[2]
+
+    def state(self, kernel_idx: int) -> ControllerState:
+        return self._state.get(kernel_idx, ControllerState())

@@ -45,7 +45,8 @@ ENV_CACHE = "REPRO_CACHE"
 #: including this module itself, since the keying and record serialisation
 #: logic below decides what a cached entry means.
 _SALTED = ("config.py", "isa", "kernels", "sim", "qos", "baselines",
-           "sharing", "power", "harness/runner.py", "harness/cache.py")
+           "controllers", "sharing", "power", "harness/runner.py",
+           "harness/cache.py")
 
 _code_salt_memo: Optional[str] = None
 

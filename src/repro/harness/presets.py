@@ -136,6 +136,19 @@ SMOKE_PRESET = ExperimentPreset(
     trio2_goals=(0.25, 0.50),
 )
 
+#: Named co-run workloads for the controller evaluation harness
+#: (``repro controllers bench|compare``): (name, kernel names, QoS count).
+#: Chosen to cover the intensity-class mix — compute-bound QoS over a
+#: memory hog, compute-vs-memory both ways, and a trio with one QoS kernel
+#: against two mixed background kernels.
+CONTROLLER_WORKLOADS: Tuple[Tuple[str, Tuple[str, ...], int], ...] = (
+    ("sgemm+lbm", ("sgemm", "lbm"), 1),
+    ("mri-q+spmv", ("mri-q", "spmv"), 1),
+    ("tpacf+stencil", ("tpacf", "stencil"), 1),
+    ("sad+histo+lbm", ("sad", "histo", "lbm"), 1),
+)
+
+
 _PRESETS = {p.name: p for p in (PAPER_PRESET, FAST_PRESET, SMOKE_PRESET)}
 
 

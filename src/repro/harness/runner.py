@@ -22,15 +22,19 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.baselines import SpartPolicy
 from repro.config import GPUConfig
+from repro.controllers import CONTROLLER_NAMES, controller_by_name
 from repro.kernels import get_kernel, intensity_class
 from repro.power import PowerModel
 from repro.qos import QoSPolicy
 from repro.sim import GPUSimulator, LaunchedKernel, SharingPolicy
 from repro.sim.telemetry import EpochRecord
 
-#: Scheme names accepted by :meth:`CaseRunner.run_case`.
+#: Scheme/controller names accepted by :meth:`CaseRunner.run_case`.  The
+#: ``pid`` and ``mpc`` entries run the paper's quota machinery under the
+#: corresponding :mod:`repro.controllers` control law (Rollover boundary
+#: accounting, controller-driven quota scales).
 POLICY_NAMES = ("spart", "naive", "history", "elastic", "rollover",
-                "rollover-time", "rollover-nostatic", "smk")
+                "rollover-time", "rollover-nostatic", "smk") + CONTROLLER_NAMES
 
 
 def make_policy(name: str) -> SharingPolicy:
@@ -41,6 +45,8 @@ def make_policy(name: str) -> SharingPolicy:
         return SharingPolicy()
     if name == "rollover-nostatic":
         return QoSPolicy("rollover", static_adjustment=False)
+    if name in CONTROLLER_NAMES:
+        return QoSPolicy("rollover", controller=controller_by_name(name))
     return QoSPolicy(name)
 
 

@@ -16,34 +16,54 @@ machine effects go through the context's actuation surface.
 
 from __future__ import annotations
 
-from typing import Dict, List, Union
+from typing import Dict, List, Optional, Union
 
+from repro.controllers.base import QuotaController, SchemeController
+#: Upper bound on the history-based scale factor.  Section 3.4.3 observes
+#: that "more aggressive alpha adjustment would benefit QoS kernels but not
+#: the non-QoS kernels so that the total throughput is lowered"; the cap
+#: keeps a transiently starved kernel from requesting an unbounded quota.
+#: (Owned by :mod:`repro.controllers.base` since the controller split;
+#: re-exported here for compatibility.)
+from repro.controllers.base import ALPHA_CAP  # noqa: F401 (re-export)
 from repro.qos.nonqos import INITIAL_NONQOS_IPC, nonqos_ipc_goal
 from repro.qos.quota import QuotaScheme, RolloverScheme, scheme_by_name
 from repro.qos.static_alloc import StaticAllocator, symmetric_targets
 from repro.sim.policy import PolicyContext, SharingPolicy
 
-#: Upper bound on the history-based scale factor.  Section 3.4.3 observes
-#: that "more aggressive alpha adjustment would benefit QoS kernels but not
-#: the non-QoS kernels so that the total throughput is lowered"; the cap
-#: keeps a transiently starved kernel from requesting an unbounded quota.
-ALPHA_CAP = 8.0
-
 
 class QoSPolicy(SharingPolicy):
-    """Fine-grained QoS management over SMK sharing (the paper's design)."""
+    """Fine-grained QoS management over SMK sharing (the paper's design).
+
+    The *control law* — how large each QoS kernel's quota scale (alpha) is
+    — is delegated to a pluggable :class:`~repro.controllers.base.\
+QuotaController`.  By default that is a
+    :class:`~repro.controllers.base.SchemeController` reproducing the
+    paper's history-based law bit-for-bit; passing
+    :class:`~repro.controllers.pid.PIDQuotaController` or
+    :class:`~repro.controllers.mpc.MPCQuotaController` swaps the law while
+    keeping this class's plant machinery (quota distribution, boundary
+    carry accounting, non-QoS goal search, TB reallocation) unchanged.
+    """
 
     uses_quotas = True
 
     def __init__(self, scheme: Union[QuotaScheme, str] = None,
                  static_adjustment: bool = True,
-                 alpha_cap: float = ALPHA_CAP):
+                 alpha_cap: float = ALPHA_CAP,
+                 controller: Optional[QuotaController] = None):
         if scheme is None:
             scheme = RolloverScheme()
         elif isinstance(scheme, str):
             scheme = scheme_by_name(scheme)
         self.scheme = scheme
-        self.name = f"qos-{scheme.name}"
+        if controller is None:
+            controller = SchemeController(use_history=scheme.use_history,
+                                          alpha_cap=alpha_cap)
+            self.name = f"qos-{scheme.name}"
+        else:
+            self.name = f"qos-{controller.name}"
+        self.controller = controller
         self.static_adjustment = static_adjustment
         self.alpha_cap = alpha_cap
         # Populated at setup().
@@ -81,6 +101,7 @@ class QoSPolicy(SharingPolicy):
             self.recent_ipc[idx] = 0.0
         self.allocator = StaticAllocator(ctx.config)
         self._nonqos_share = [dict() for _ in range(ctx.num_sms)]
+        self.controller.start(ctx.config, self.qos_indices, self.goals)
 
         specs = [launch.spec for launch in ctx.kernels]
         targets = symmetric_targets(ctx.config, self.qos_indices,
@@ -99,7 +120,7 @@ class QoSPolicy(SharingPolicy):
             self._refresh_quotas(ctx, first=True)
             return
         self._measure(ctx)
-        self._update_alphas()
+        self._update_alphas(ctx)
         self._update_nonqos_goals()
         if self.static_adjustment:
             # TB allocation chases the alpha-adjusted catch-up target: a
@@ -128,19 +149,18 @@ class QoSPolicy(SharingPolicy):
                 self.recent_ipc[idx] = epoch_ipc
         self._measured = True
 
-    def _update_alphas(self) -> None:
-        """alpha_k = max(IPC_goal / IPC_history, 1), capped (Section 3.4.2)."""
-        if not self.scheme.use_history:
-            for idx in self.qos_indices:
-                self.alphas[idx] = 1.0
-            return
+    def _update_alphas(self, ctx: PolicyContext) -> None:
+        """Ask the controller for each QoS kernel's quota scale.
+
+        The default :class:`SchemeController` computes the paper's
+        alpha_k = max(IPC_goal / IPC_history, 1), capped (Section 3.4.2);
+        PID/MPC controllers substitute their own laws.  The scales land in
+        ``self.alphas`` so every downstream consumer (non-QoS goal search,
+        TB allocation targets, quota sizing) is controller-agnostic.
+        """
+        scales = self.controller.on_epoch(ctx, ctx.epoch)
         for idx in self.qos_indices:
-            history = self.ipc_history[idx]
-            if history <= 0:
-                self.alphas[idx] = self.alpha_cap
-            else:
-                self.alphas[idx] = min(self.alpha_cap,
-                                       max(1.0, self.goals[idx] / history))
+            self.alphas[idx] = scales[idx]
 
     def _update_nonqos_goals(self) -> None:
         """The Section 3.5 artificial-goal search for each non-QoS kernel."""
@@ -189,10 +209,14 @@ class QoSPolicy(SharingPolicy):
                 if not is_qos:
                     self._nonqos_share[sm_id][kernel_idx] = max(share, 0.0)
                 ctx.set_quota(sm_id, kernel_idx, 0.0 if blocked else share)
+            state = self.controller.state(kernel_idx)
             ctx.note_quota(kernel_idx, quota, carried,
                            alpha=self.alphas.get(kernel_idx),
                            ipc_goal=self.goals.get(
-                               kernel_idx, self.nonqos_goals.get(kernel_idx)))
+                               kernel_idx, self.nonqos_goals.get(kernel_idx)),
+                           ctrl_error=state.error,
+                           ctrl_integral=state.integral,
+                           ctrl_prediction=state.prediction)
         ctx.wake_all()
 
     # ----------------------------------------------------- exhaustion hook

@@ -22,6 +22,12 @@ K1):
 * **Rollover-Time** (Section 4.5) uses Rollover's accounting but blocks
   non-QoS kernels until the QoS kernels exhaust their quotas, i.e.
   CPU-style prioritised time multiplexing inside each epoch.
+
+A scheme deliberately does *not* decide how large the fresh quota is:
+that is the control law — by default the history-based alpha these
+examples assume, but pluggable via :mod:`repro.controllers` (PID/MPC),
+which scales ``ipc_goal * epoch_length`` independently of the boundary
+accounting here.  Any controller composes with any scheme.
 """
 
 from __future__ import annotations

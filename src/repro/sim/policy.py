@@ -261,10 +261,16 @@ class PolicyContext:
 
     def note_quota(self, kernel_idx: int, granted: float,
                    carried: float = 0.0, alpha: Optional[float] = None,
-                   ipc_goal: Optional[float] = None) -> None:
+                   ipc_goal: Optional[float] = None,
+                   ctrl_error: Optional[float] = None,
+                   ctrl_integral: Optional[float] = None,
+                   ctrl_prediction: Optional[float] = None) -> None:
         """Record the epoch's whole-kernel quota grant (and the rollover
-        residual folded into it, plus the control terms that produced it)
-        into the telemetry stream.  A no-op when telemetry is off."""
+        residual folded into it, plus the control terms that produced it —
+        including the quota controller's internals, see
+        :mod:`repro.controllers`) into the telemetry stream.  A no-op when
+        telemetry is off."""
         recorder = self._engine.telemetry
         if recorder is not None:
-            recorder.note_quota(kernel_idx, granted, carried, alpha, ipc_goal)
+            recorder.note_quota(kernel_idx, granted, carried, alpha, ipc_goal,
+                                ctrl_error, ctrl_integral, ctrl_prediction)

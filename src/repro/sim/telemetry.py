@@ -77,6 +77,13 @@ class KernelEpochRecord:
     quota_residual: Optional[float] = None
     alpha: Optional[float] = None
     ipc_goal: Optional[float] = None
+    #: Controller internals (repro.controllers): the normalised goal
+    #: residual acted on, the anti-windup-clamped integral term (PID), and
+    #: the model-predicted epoch IPC (MPC).  None for kernels the policy's
+    #: controller holds no such state for.
+    ctrl_error: Optional[float] = None
+    ctrl_integral: Optional[float] = None
+    ctrl_prediction: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -106,8 +113,7 @@ class TelemetryRecorder:
         self.finalized = False
         self._epoch_index = 0
         self._start_cycle = 0
-        self._quota_notes: Dict[int, Tuple[float, float, Optional[float],
-                                           Optional[float]]] = {}
+        self._quota_notes: Dict[int, Tuple] = {}
         self._tb_moves: List[TBMove] = []
 
     def open_epoch(self, epoch_index: int, cycle: int) -> None:
@@ -117,8 +123,13 @@ class TelemetryRecorder:
         self._tb_moves = []
 
     def note_quota(self, kernel_idx: int, granted: float, carried: float,
-                   alpha: Optional[float], ipc_goal: Optional[float]) -> None:
-        self._quota_notes[kernel_idx] = (granted, carried, alpha, ipc_goal)
+                   alpha: Optional[float], ipc_goal: Optional[float],
+                   ctrl_error: Optional[float] = None,
+                   ctrl_integral: Optional[float] = None,
+                   ctrl_prediction: Optional[float] = None) -> None:
+        self._quota_notes[kernel_idx] = (granted, carried, alpha, ipc_goal,
+                                         ctrl_error, ctrl_integral,
+                                         ctrl_prediction)
 
     def note_tb_move(self, cycle: int, sm_id: int, kernel_idx: int,
                      drain_cycles: int) -> None:
@@ -138,14 +149,17 @@ class TelemetryRecorder:
             note = self._quota_notes.get(idx)
             if note is None:
                 granted = carried = alpha = goal = residual = None
+                error = integral = prediction = None
             else:
-                granted, carried, alpha, goal = note
+                granted, carried, alpha, goal, error, integral, prediction = note
                 residual = quota_residual[idx]
             kernels.append(KernelEpochRecord(
                 name=name, retired=retired[idx], epoch_ipc=epoch_ipc[idx],
                 cumulative_ipc=cumulative_ipc[idx], total_tbs=total_tbs[idx],
                 quota_granted=granted, quota_carried=carried,
-                quota_residual=residual, alpha=alpha, ipc_goal=goal))
+                quota_residual=residual, alpha=alpha, ipc_goal=goal,
+                ctrl_error=error, ctrl_integral=integral,
+                ctrl_prediction=prediction))
         record = EpochRecord(
             epoch_index=self._epoch_index, start_cycle=self._start_cycle,
             end_cycle=end_cycle, kernels=tuple(kernels),
@@ -184,7 +198,8 @@ _EPOCH_INT_FIELDS = ("epoch_index", "start_cycle", "end_cycle",
 _KERNEL_INT_FIELDS = ("retired", "total_tbs")
 _KERNEL_FLOAT_FIELDS = ("epoch_ipc", "cumulative_ipc")
 _KERNEL_OPT_FIELDS = ("quota_granted", "quota_carried", "quota_residual",
-                      "alpha", "ipc_goal")
+                      "alpha", "ipc_goal", "ctrl_error", "ctrl_integral",
+                      "ctrl_prediction")
 _TB_MOVE_FIELDS = ("cycle", "sm_id", "kernel_idx", "drain_cycles")
 
 

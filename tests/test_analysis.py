@@ -246,6 +246,62 @@ class TestDictKeysIteration:
         assert findings == []
 
 
+class TestFloatAccumulationOrder:
+    def test_flags_sum_over_sweep_result(self):
+        findings = snippet("""
+            def total(runner, specs):
+                records = runner.sweep(specs)
+                return sum(r.ipc for r in records)
+            """)
+        assert rules_of(findings) == ["DET007"]
+        assert findings[0].severity == "warning"
+        assert "math.fsum" in findings[0].message
+
+    def test_flags_sum_of_pool_map_directly(self):
+        findings = snippet("""
+            def total(pool, cases):
+                return sum(pool.map(run, cases))
+            """)
+        assert rules_of(findings) == ["DET007"]
+
+    def test_flags_list_wrapped_producer(self):
+        findings = snippet("""
+            def total(pool, cases):
+                values = list(pool.imap_unordered(run, cases))
+                return sum(values)
+            """)
+        assert rules_of(findings) == ["DET007"]
+
+    def test_quiet_on_fsum_and_plain_iterables(self):
+        findings = snippet("""
+            import math
+            def totals(runner, specs, values):
+                records = runner.sweep(specs)
+                a = math.fsum(r.ipc for r in records)
+                b = sum(values)
+                c = sum(x * x for x in values)
+                return a + b + c
+            """)
+        assert findings == []
+
+    def test_rebinding_disqualifies_the_name(self):
+        findings = snippet("""
+            def total(runner, specs):
+                records = runner.sweep(specs)
+                records = [1, 2, 3]
+                return sum(records)
+            """)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = snippet("""
+            def total(runner, specs):
+                records = runner.sweep(specs)
+                return sum(r.ipc for r in records)  # repro: noqa=DET007
+            """)
+        assert findings == []
+
+
 # ---------------------------------------------------------------- LAY rules
 
 class TestImportContractRule:
@@ -300,6 +356,25 @@ class TestImportContractRule:
             """,
             name="repro.qos.manager")
         assert findings == []
+
+    def test_controller_package_may_not_import_engine(self):
+        findings = snippet(
+            """
+            from repro.sim.engine import GPUSimulator
+            """,
+            name="repro.controllers.pid")
+        assert rules_of(findings) == ["LAY001"]
+        assert "policy-engine-independence" in findings[0].message
+
+    def test_controller_package_may_not_import_analysis(self):
+        findings = snippet(
+            """
+            import repro.analysis
+            """,
+            name="repro.controllers.base",
+            rule_ids=["LAY001"])
+        assert rules_of(findings) == ["LAY001"]
+        assert "runtime-analysis-independence" in findings[0].message
 
 
 class TestPolicyContextSeamRules:
@@ -435,6 +510,17 @@ class TestSaltCoverage:
                                rule_ids=["SALT001", "SALT002"])
         assert result.findings == []
 
+    def test_shipped_salt_covers_the_controllers_package(self):
+        # The runner imports repro.controllers (PID/MPC quota control), so
+        # controller source must participate in the cache's code salt:
+        # tuning a gain preset alone would not change GPUConfig hashes of
+        # *other* configs, but editing a control law must invalidate
+        # everything.
+        from repro.harness.cache import _SALTED, salted_paths
+        assert "controllers" in _SALTED
+        assert any(path.startswith("controllers/")
+                   for path in salted_paths())
+
 
 TELEMETRY_TEMPLATE = """
 from dataclasses import dataclass
@@ -563,7 +649,7 @@ class TestShippedTreeIsClean:
         from repro.analysis import all_rules
         registry = all_rules()
         assert {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
-                "LAY001", "LAY002", "LAY003", "SALT001", "SALT002",
+                "DET007", "LAY001", "LAY002", "LAY003", "SALT001", "SALT002",
                 "SCHEMA001"} <= set(registry)
         for rule in registry.values():
             assert rule.summary
