@@ -3,13 +3,17 @@
 Measures, on the current machine:
 
 1. Engine hot-path speed: simulated cycles/second for the canonical
-   workload shapes, run under both simulation cores — the event-driven
-   core (``engine_core="event"``, the default) and the reference
-   per-cycle-scan core (``"scan"``) — with the event/scan speedup per
-   shape.  The *membound stream* shape is the sleep-skipping showcase: a
+   workload shapes, run under all three simulation cores — the reference
+   per-cycle-scan core (``engine_core="scan"``), the event-driven core
+   (``"event"``, the default) and the windowed struct-of-arrays batch
+   core (``"batch"``) — with per-shape speedup ratios.  The *membound
+   stream* shape is the event core's sleep-skipping showcase: a
    bandwidth-bound kernel on many single-scheduler SMs under deep DRAM
    latency, so most SMs spend most cycles stalled and the event core
-   skips them with one comparison each.
+   skips them with one comparison each.  The *compute alu-dense* shape is
+   the batch core's showcase: a memory-free high-ILP kernel whose only
+   window edges are the idle-warp sample grid, so the batch core advances
+   whole SMs hundreds of cycles at a time.
 2. A per-function cProfile hotspot table for the event core on the
    showcase shape, so regressions in the hot path are visible as moved
    rows rather than just a slower total.
@@ -30,7 +34,11 @@ cycle counts and never writes results; CI uses it as a smoke test that the
 bench harness itself works (no timing assertions).
 
 The report is printed and written to ``benchmarks/results/
-bench_sim_throughput.txt``.  Parallel speedup scales with the core count
+bench_sim_throughput.txt``; the engine comparison is additionally written
+as machine-readable JSON to ``benchmarks/results/BENCH_sim_throughput.json``
+(or wherever ``--json`` points, which works in ``--quick`` mode too) so the
+perf trajectory is diffable across PRs.  Parallel speedup scales with the
+core count
 (printed in the header); the warm-cache rerun is machine-independent and
 should cost well under 10% of the cold sweep.
 """
@@ -39,6 +47,7 @@ from __future__ import annotations
 
 import argparse
 import cProfile
+import json
 import os
 import pathlib
 import platform
@@ -47,16 +56,21 @@ import tempfile
 import time
 from dataclasses import replace
 
-from repro.config import FAST_GPU, KB, LatencyConfig, MemoryConfig, SMConfig
+import repro.sim.batch  # noqa: F401  — warm numpy outside the timed regions
+
+from repro.config import ENGINE_CORES, FAST_GPU, KB, LatencyConfig, \
+    MemoryConfig, SMConfig
 from repro.harness.cache import CaseCache, code_salt
 from repro.harness.parallel import ParallelCaseRunner, resolve_workers
 from repro.harness.runner import CaseRunner, CaseSpec
 from repro.kernels import get_kernel
+from repro.kernels.spec import InstructionMix, KernelSpec, MemoryPattern
 from repro.kernels.synthetic import streaming_kernel
 from repro.qos import QoSPolicy
 from repro.sim import GPUSimulator, LaunchedKernel, TelemetryRecorder
 
 RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "bench_sim_throughput.txt"
+JSON_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_sim_throughput.json"
 
 # A fast-preset Figure 6 slice: QoS goal sweep over three representative
 # pairs under the rollover scheme (plus spart for scheme diversity).
@@ -76,6 +90,23 @@ MEMBOUND_GPU = FAST_GPU.scaled(
         latency=LatencyConfig(dram=2000, dram_row_hit=1200, l2_hit=500)))
 
 
+# The batch-core showcase: a memory-free, barrier-free, high-ILP ALU kernel
+# (greedy runs of back-to-back single-cycle instructions are long, so the
+# bulk-apply path dominates) on the fast machine with a sparse idle-warp
+# sample grid — the only window edges left are the 500-cycle grid points,
+# so each probe opens a full-interval window.
+COMPUTE_GPU = FAST_GPU.scaled(epoch_length=10_000, idle_warp_samples=20)
+
+
+def _alu_dense_kernel() -> KernelSpec:
+    return KernelSpec(
+        name="alu-dense", threads_per_tb=256, regs_per_thread=32,
+        body_length=256, iterations_per_tb=64,
+        mix=InstructionMix(alu=0.94, sfu=0.0, ldg=0.0, stg=0.0, lds=0.06),
+        ilp=0.97,
+        memory=MemoryPattern(footprint_bytes=1 << 20))
+
+
 def _shapes():
     return [
         ("isolated sgemm", FAST_GPU,
@@ -87,6 +118,8 @@ def _shapes():
          "rollover"),
         ("membound stream (16 SMs)", MEMBOUND_GPU,
          lambda: [LaunchedKernel(streaming_kernel())], None),
+        ("compute alu-dense", COMPUTE_GPU,
+         lambda: [LaunchedKernel(_alu_dense_kernel())], None),
     ]
 
 
@@ -105,15 +138,31 @@ def _time_run(gpu, launches, policy_name, cycles, repeats=2,
 
 
 def engine_throughput(cycles: int, repeats: int = 3) -> list:
-    """Cycles/second per shape for both cores, plus the event/scan speedup."""
+    """Per-shape timings for all three cores, plus speedup ratios.
+
+    Returns one dict per shape — the same structure the JSON report
+    serialises — with ``seconds`` and ``cycles_per_second`` keyed by core
+    name and the derived ``speedup`` ratios.
+    """
     rows = []
     for label, gpu, launches, policy_name in _shapes():
-        event = _time_run(replace(gpu, engine_core="event"),
-                          launches, policy_name, cycles, repeats)
-        scan = _time_run(replace(gpu, engine_core="scan"),
-                         launches, policy_name, cycles, repeats)
-        rows.append((label, cycles, event, cycles / event,
-                     cycles / scan, scan / event))
+        seconds = {
+            core: _time_run(replace(gpu, engine_core=core),
+                            launches, policy_name, cycles, repeats)
+            for core in ENGINE_CORES
+        }
+        rows.append({
+            "label": label,
+            "cycles": cycles,
+            "seconds": seconds,
+            "cycles_per_second": {core: cycles / elapsed
+                                  for core, elapsed in seconds.items()},
+            "speedup": {
+                "event_vs_scan": seconds["scan"] / seconds["event"],
+                "batch_vs_scan": seconds["scan"] / seconds["batch"],
+                "batch_vs_event": seconds["event"] / seconds["batch"],
+            },
+        })
     return rows
 
 
@@ -197,13 +246,17 @@ def format_report(engine_rows, hotspot_rows, telemetry_rows, sweep_rows,
                  f"cores {os.cpu_count()}  workers {workers}  "
                  f"code salt {code_salt()}")
     lines.append("")
-    lines.append(f"engine hot path ({cycles} cycles; event core vs "
-                 "reference scan core)")
-    lines.append(f"{'workload':<28}{'seconds':>9}{'cyc/s event':>13}"
-                 f"{'cyc/s scan':>13}{'speedup':>9}")
-    for label, _cycles, elapsed, event_rate, scan_rate, speedup in engine_rows:
-        lines.append(f"{label:<28}{elapsed:>9.3f}{event_rate:>13,.0f}"
-                     f"{scan_rate:>13,.0f}{speedup:>8.2f}x")
+    lines.append(f"engine hot path ({cycles} cycles; scan = reference, "
+                 "event = PR 2, batch = struct-of-arrays windows)")
+    lines.append(f"{'workload':<28}{'cyc/s scan':>12}{'cyc/s event':>13}"
+                 f"{'cyc/s batch':>13}{'ev/scan':>9}{'ba/scan':>9}")
+    for row in engine_rows:
+        rate = row["cycles_per_second"]
+        speedup = row["speedup"]
+        lines.append(f"{row['label']:<28}{rate['scan']:>12,.0f}"
+                     f"{rate['event']:>13,.0f}{rate['batch']:>13,.0f}"
+                     f"{speedup['event_vs_scan']:>8.2f}x"
+                     f"{speedup['batch_vs_scan']:>8.2f}x")
     lines.append("")
     lines.append("event-core hotspots (membound stream, by internal time)")
     lines.append(f"{'function':<44}{'calls':>9}{'tottime':>9}{'cumtime':>9}")
@@ -230,6 +283,25 @@ def format_report(engine_rows, hotspot_rows, telemetry_rows, sweep_rows,
     return "\n".join(lines) + "\n"
 
 
+def json_report(engine_rows, cycles: int, workers: int) -> dict:
+    """The machine-readable engine comparison (diffable across PRs)."""
+    return {
+        "bench": "sim_throughput",
+        "cycles": cycles,
+        "workers": workers,
+        "python": platform.python_version(),
+        "code_salt": code_salt(),
+        "cores": list(ENGINE_CORES),
+        "shapes": engine_rows,
+    }
+
+
+def _write_json(payload: dict, path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {path}]")
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--cycles", type=int, default=24000,
@@ -242,19 +314,28 @@ def main() -> int:
                              "cycles; implies --no-save (CI smoke mode)")
     parser.add_argument("--no-save", action="store_true",
                         help="print only; do not update benchmarks/results/")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the engine-comparison JSON here "
+                             "(works with --quick; default in full save "
+                             f"mode: {JSON_PATH})")
     args = parser.parse_args()
 
     workers = resolve_workers(args.workers)
     if args.quick:
         cycles = min(args.cycles, 6000)
-        report = format_report(engine_throughput(cycles, repeats=1),
+        engine_rows = engine_throughput(cycles, repeats=1)
+        report = format_report(engine_rows,
                                hotspot_table(cycles),
                                telemetry_overhead(cycles, repeats=1),
                                None, cycles, workers)
         print(report, end="")
+        if args.json:
+            _write_json(json_report(engine_rows, cycles, workers),
+                        pathlib.Path(args.json))
         return 0
 
-    report = format_report(engine_throughput(args.cycles),
+    engine_rows = engine_throughput(args.cycles)
+    report = format_report(engine_rows,
                            hotspot_table(args.cycles),
                            telemetry_overhead(args.cycles),
                            sweep_timings(args.cycles, workers),
@@ -264,6 +345,9 @@ def main() -> int:
         RESULTS_PATH.parent.mkdir(exist_ok=True)
         RESULTS_PATH.write_text(report)
         print(f"[written to {RESULTS_PATH}]")
+    if args.json or not args.no_save:
+        _write_json(json_report(engine_rows, args.cycles, workers),
+                    pathlib.Path(args.json) if args.json else JSON_PATH)
     return 0
 
 

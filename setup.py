@@ -1,3 +1,5 @@
 from setuptools import setup
 
+# All metadata — including install deps (numpy for the batch engine core) —
+# lives in pyproject.toml; this stub exists for legacy tooling.
 setup()

@@ -178,6 +178,17 @@ class ControllerConfig:
             raise ValueError("mpc_nonqos_floor must be in [0, 1)")
 
 
+#: The one registry of simulation-core variants, shared by
+#: :class:`GPUConfig` validation and the CLI ``--engine-core`` choices.
+#: ``"event"``: event-driven core (per-SM sleep skipping, two-tier warp wake
+#: queues).  ``"scan"``: reference per-cycle-scan core kept for differential
+#: testing.  ``"batch"``: windowed struct-of-arrays core
+#: (:mod:`repro.sim.batch`) that advances whole SMs in bulk between
+#: control-flow edges.  All three produce record-for-record identical
+#: results.
+ENGINE_CORES = ("event", "scan", "batch")
+
+
 @dataclass(frozen=True)
 class GPUConfig:
     """Complete machine description handed to :class:`repro.sim.GPUSimulator`."""
@@ -187,10 +198,7 @@ class GPUConfig:
     core_freq_mhz: float = 1216.0
     mem_freq_mhz: float = 7000.0
     scheduler_policy: str = "gto"
-    #: Simulation-core variant: ``"event"`` is the event-driven core (per-SM
-    #: sleep skipping, two-tier warp wake queues); ``"scan"`` is the
-    #: reference per-cycle-scan core kept for differential testing.  Both
-    #: produce record-for-record identical results.
+    #: Simulation-core variant; see :data:`ENGINE_CORES`.
     engine_core: str = "event"
     epoch_length: int = 10_000
     idle_warp_samples: int = 100
@@ -208,8 +216,10 @@ class GPUConfig:
             raise ValueError("epoch_length must be positive")
         if self.scheduler_policy not in ("gto", "lrr"):
             raise ValueError(f"unknown scheduler policy {self.scheduler_policy!r}")
-        if self.engine_core not in ("event", "scan"):
-            raise ValueError(f"unknown engine core {self.engine_core!r}")
+        if self.engine_core not in ENGINE_CORES:
+            accepted = ", ".join(repr(core) for core in ENGINE_CORES)
+            raise ValueError(f"unknown engine core {self.engine_core!r} "
+                             f"(accepted: {accepted})")
 
     def scaled(self, **overrides) -> "GPUConfig":
         """Return a copy with the given fields replaced (convenience wrapper)."""

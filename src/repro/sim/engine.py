@@ -108,6 +108,8 @@ class GPUSimulator:
         self.sample_interval = max(1, config.epoch_length // config.idle_warp_samples)
         self.next_sample_at = self.sample_interval
         self._configured = False
+        # Lazily built window machinery for the batch core (repro.sim.batch).
+        self._batch_state = None
         self._measure_from_cycle = 0
         self._retired_baseline = [0] * self.num_kernels
         self._tbs_baseline = [0] * self.num_kernels
@@ -150,6 +152,9 @@ class GPUSimulator:
         if self.config.engine_core == "scan":
             self._run_scan(end_cycle)
             return
+        if self.config.engine_core == "batch":
+            self._run_batch(end_cycle)
+            return
         sms = self.sms
         preemption = self.preemption
         sample_interval = self.sample_interval
@@ -177,6 +182,81 @@ class GPUSimulator:
             # an SM later in the list, exactly as the scan core would see.
             # (Inlined wake_hint fast path: this comparison runs per SM per
             # cycle, so the clean-cache case avoids a method call.)
+            if tel_on:
+                busy = 0
+                for sm in sms:
+                    hint = (sm._wake_min if not sm._wake_dirty
+                            else sm.wake_hint())
+                    if hint <= cycle:
+                        n = sm.step(cycle, sample)
+                        if n:
+                            issued += n
+                            busy += 1
+                    elif sample:
+                        sm.sample_idle(cycle)
+                if busy:
+                    self._tel_busy_sm_cycles += busy
+                    self._tel_busy_gpu_cycles += 1
+            else:
+                for sm in sms:
+                    hint = (sm._wake_min if not sm._wake_dirty
+                            else sm.wake_hint())
+                    if hint <= cycle:
+                        issued += sm.step(cycle, sample)
+                    elif sample:
+                        sm.sample_idle(cycle)
+            self.cycle = cycle + 1
+            if issued == 0:
+                self._skip_idle(end_cycle)
+
+    def _run_batch(self, end_cycle: int) -> None:
+        """Windowed loop: vectorised SM advancement between control edges.
+
+        Identical to the event loop except that on cycles where nothing
+        engine-level is scheduled the core *probes* for an edge-free window
+        (:meth:`repro.sim.batch.BatchState.probe`) and, when one opens,
+        advances every SM to its end in bulk instead of cycle-stepping.
+        Sample cycles, epoch boundaries, preemption completions and every
+        cycle in which a memory access, barrier, retirement or quota
+        crossing can occur run on the unmodified event path below, so all
+        order-dependent machinery executes exactly the scalar code.
+        """
+        # Imported here so the scan/event cores never pay for (or require)
+        # numpy; the batch module is still part of the code salt via the
+        # engine's transitive import closure.
+        from repro.sim.batch import BatchState
+        state = self._batch_state
+        if state is None:
+            state = self._batch_state = BatchState(self)
+        sms = self.sms
+        preemption = self.preemption
+        sample_interval = self.sample_interval
+        tel_on = self.telemetry is not None
+        while self.cycle < end_cycle:
+            cycle = self.cycle
+            next_done = preemption.next_completion
+            if next_done is not None and next_done <= cycle:
+                for sm, tb in preemption.pop_completed(cycle):
+                    sm.remove_tb(tb)
+                    self._dispatch_sm(sm, cycle)
+            if cycle >= self.next_epoch_at:
+                self._begin_epoch(cycle)
+            sample = cycle >= self.next_sample_at
+            if sample:
+                missed = (cycle - self.next_sample_at) // sample_interval
+                self.next_sample_at += (missed + 1) * sample_interval
+            elif cycle >= state.next_probe_at:
+                # Probes never run on sample cycles, and the horizon is
+                # capped at the next grid point, so windows cannot swallow
+                # idle-warp samples.
+                horizon = state.probe(cycle, end_cycle)
+                if horizon - cycle >= state.min_window:
+                    state.window_opened()
+                    state.advance(cycle, horizon)
+                    self.cycle = horizon
+                    continue
+                state.probe_failed(cycle)
+            issued = 0
             if tel_on:
                 busy = 0
                 for sm in sms:

@@ -34,6 +34,12 @@ Two interchangeable implementations exist, selected by
     The reference implementation: an O(warps) scan per select.  Kept
     verbatim for differential tests and as executable documentation.
 
+``core="batch"``
+    Reuses the event-core classes: the batch engine core
+    (:mod:`repro.sim.batch`) only steps schedulers on its scalar-fallback
+    path, and rebuilds their queues via ``rebuild_ready_state`` after each
+    vectorised window.
+
 Schedulers keep a ``sleep_until`` cycle: when selection finds nothing ready
 the earliest wake-up among eligible warps is cached so stalled schedulers
 cost one comparison per cycle.  Any event that can create readiness out of
@@ -291,6 +297,35 @@ class GTOScheduler(_SchedulerBase):
             self._sleep_on_pending(quota_ok, stalled_min)
         return None
 
+    # ------------------------------------------------------- batch sync-out
+
+    def rebuild_ready_state(self) -> None:
+        """Reset the two-tier queues to the canonical post-window state.
+
+        The batch core mutates ``pc``/``ready_at`` on this scheduler's warps
+        behind the queues' back; afterwards every cached wake entry is
+        potentially stale.  Rebuild from scratch: all schedulable warps go
+        to the ready list in age order (``warps`` order), the pending heaps
+        empty, and the sleep state clears.  ``pending_key`` is nulled on
+        **every** hosted warp — including parked AT_BARRIER/FROZEN ones —
+        because ``requeue`` skips re-pushing a warp whose live pending entry
+        looks current, and after this wipe no entry is live.
+        """
+        ready = []
+        for warp in self.warps:
+            warp.pending_key = None
+            if warp.state == 0:
+                warp.in_ready = True
+                ready.append(warp)
+            else:
+                warp.in_ready = False
+        self.ready = ready
+        self._pending.clear()
+        self._next_due = _NEVER
+        # The caller notifies the SM once per window (sm._sleep_changed());
+        # writing through _sleep here would fire the callback per scheduler.
+        self.sleep_until = 0
+
     # ------------------------------------------------------------ inspection
 
     def _ready_now(self, cycle: int) -> List[Warp]:
@@ -478,6 +513,11 @@ _CORES = {
     ("lrr", "event"): LRRScheduler,
     ("gto", "scan"): ScanGTOScheduler,
     ("lrr", "scan"): ScanLRRScheduler,
+    # The batch core's scalar-fallback path IS the event core: between
+    # vectorised windows (repro.sim.batch) the engine steps these same
+    # schedulers, whose queues each window rebuilds at sync-out.
+    ("gto", "batch"): GTOScheduler,
+    ("lrr", "batch"): LRRScheduler,
 }
 
 
