@@ -5,7 +5,7 @@ comparison against unmanaged SMK sharing.
 
 
 def test_ext_epoch_length_flat(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.ext_epoch_length()),
+    result = benchmark.pedantic(lambda: publish(suite.run("ext_epoch_length")),
                                 rounds=1, iterations=1)
     values = list(result.data["series"]["rollover"].values())
     # Section 4.1 fixes the epoch length citing [17]; QoSreach should not
@@ -14,7 +14,7 @@ def test_ext_epoch_length_flat(benchmark, suite, publish):
 
 
 def test_ext_scheduler_quotas_work_over_lrr(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.ext_scheduler()),
+    result = benchmark.pedantic(lambda: publish(suite.run("ext_scheduler")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     # The EWS filter is policy-agnostic: Rollover must deliver a healthy
@@ -24,7 +24,7 @@ def test_ext_scheduler_quotas_work_over_lrr(benchmark, suite, publish):
 
 
 def test_ext_unmanaged_smk_cannot_do_qos(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.ext_unmanaged()),
+    result = benchmark.pedantic(lambda: publish(suite.run("ext_unmanaged")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     # Fine-grained sharing alone biases arbitrarily between kernels
@@ -32,7 +32,7 @@ def test_ext_unmanaged_smk_cannot_do_qos(benchmark, suite, publish):
     assert series["rollover"]["AVG"] > series["smk"]["AVG"]
 
 def test_ext_fusion_cannot_do_qos(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.ext_fusion()),
+    result = benchmark.pedantic(lambda: publish(suite.run("ext_fusion")),
                                 rounds=1, iterations=1)
     data = result.data
     # Fusion's co-location throughput is in the same ballpark as SMK --

@@ -7,7 +7,7 @@ only 1.3 % — motivating Elastic Epoch and Rollover.
 
 
 def test_fig05_history_miss_histogram(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig05()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig05")),
                                 rounds=1, iterations=1)
     histogram = result.data["histogram"]
     total = result.data["total"]

@@ -7,7 +7,7 @@ and 43.8 % (2 QoS kernels); Spart collapses at the hardest 2-QoS goals.
 
 
 def test_fig06a_pairs(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig06a()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig06a")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     # Ordering of the headline result: Rollover >= Spart >> Naive.
@@ -19,14 +19,14 @@ def test_fig06a_pairs(benchmark, suite, publish):
 
 
 def test_fig06b_trios_one_qos(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig06b()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig06b")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     assert series["rollover"]["AVG"] >= series["spart"]["AVG"] - 0.05
 
 
 def test_fig06c_trios_two_qos(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig06c()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig06c")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     # The scalability claim: with more QoS kernels the fine-grained design

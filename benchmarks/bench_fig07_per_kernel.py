@@ -7,7 +7,7 @@ cannot manage at all.
 
 
 def test_fig07_per_kernel_reach(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig07()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig07")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     rollover, spart = series["rollover"], series["spart"]

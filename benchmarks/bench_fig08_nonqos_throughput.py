@@ -22,7 +22,7 @@ def _monotone_decreasing(values):
 
 
 def test_fig08a_pairs(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig08a()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig08a")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     _check(series)
@@ -32,12 +32,12 @@ def test_fig08a_pairs(benchmark, suite, publish):
 
 
 def test_fig08b_trios_one_qos(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig08b()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig08b")),
                                 rounds=1, iterations=1)
     _check(result.data["series"])
 
 
 def test_fig08c_trios_two_qos(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig08c()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig08c")),
                                 rounds=1, iterations=1)
     _check(result.data["series"])

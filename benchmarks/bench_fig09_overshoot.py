@@ -7,7 +7,7 @@ freed by precise control flow to the non-QoS kernels instead.
 
 
 def test_fig09_overshoot(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig09()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig09")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     spart = series["spart"]["AVG"]

@@ -8,7 +8,7 @@ where the throughput lives.
 
 
 def test_fig10_qosreach_parity(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig10()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig10")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     rollover = series["rollover"]["AVG"]
@@ -18,7 +18,7 @@ def test_fig10_qosreach_parity(benchmark, suite, publish):
 
 
 def test_fig11_nonqos_throughput_gap(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig11()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig11")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     rollover = series["rollover"]["AVG"]

@@ -8,14 +8,14 @@ by ~30 %.  The fast preset uses the proportionally scaled many-SM analogue
 
 
 def test_fig12_qosreach_many_sm(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig12()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig12")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     assert series["rollover"]["AVG"] >= series["spart"]["AVG"] - 0.1
 
 
 def test_fig13_nonqos_throughput_many_sm(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig13()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig13")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     rollover = series["rollover"]["AVG"]

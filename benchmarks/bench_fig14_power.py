@@ -6,7 +6,7 @@ sharing — better utilisation amortises static power over more retired work.
 
 
 def test_fig14_inst_per_watt_improvement(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.fig14()),
+    result = benchmark.pedantic(lambda: publish(suite.run("fig14")),
                                 rounds=1, iterations=1)
     series = result.data["series"]["improvement"]
     average = series["AVG"]

@@ -9,7 +9,7 @@ throughput by 13.3 %.
 
 
 def test_preemption_overhead_is_small(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.sec48_preemption()),
+    result = benchmark.pedantic(lambda: publish(suite.run("sec48_preemption")),
                                 rounds=1, iterations=1)
     overhead = result.data["overhead"]
     if overhead is not None:
@@ -18,14 +18,14 @@ def test_preemption_overhead_is_small(benchmark, suite, publish):
 
 
 def test_history_adjustment_reaches_more_goals(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.sec48_history()),
+    result = benchmark.pedantic(lambda: publish(suite.run("sec48_history")),
                                 rounds=1, iterations=1)
     series = result.data["series"]
     assert series["history"]["AVG"] >= series["naive"]["AVG"]
 
 
 def test_static_management_helps_mm_pairs(benchmark, suite, publish):
-    result = benchmark.pedantic(lambda: publish(suite.sec48_static()),
+    result = benchmark.pedantic(lambda: publish(suite.run("sec48_static")),
                                 rounds=1, iterations=1)
     gain = result.data["gain"]
     if gain is not None:

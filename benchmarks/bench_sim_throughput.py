@@ -60,7 +60,8 @@ import repro.sim.batch  # noqa: F401  — warm numpy outside the timed regions
 
 from repro.config import ENGINE_CORES, FAST_GPU, KB, LatencyConfig, \
     MemoryConfig, SMConfig
-from repro.harness.cache import CaseCache, code_salt
+from repro.harness.cache import (CaseCache, code_salt, experiment_id_for,
+                                 experiment_spec_hash, sweep_grid_payload)
 from repro.harness.parallel import ParallelCaseRunner, resolve_workers
 from repro.harness.runner import CaseRunner, CaseSpec
 from repro.kernels import get_kernel
@@ -208,6 +209,22 @@ def sweep_cases() -> list:
             for policy in ("rollover", "spart")]
 
 
+def sweep_experiment_identity(cycles: int) -> dict:
+    """The experiment-store identity of the figure 6 slice sweep.
+
+    Content-derived (machine + cycles + spec grid + code salt), so it is
+    computable without running anything and lands in both the text header
+    and the JSON report — the committed results name exactly which
+    registered experiment they measure.
+    """
+    runner = CaseRunner(FAST_GPU, cycles)
+    grid = sweep_grid_payload(FAST_GPU, cycles, runner.warmup_cycles,
+                              runner.telemetry,
+                              [spec.payload() for spec in sweep_cases()])
+    spec_hash = experiment_spec_hash(grid)
+    return {"id": experiment_id_for(spec_hash), "spec_hash": spec_hash}
+
+
 def sweep_timings(cycles: int, workers: int) -> list:
     cases = sweep_cases()
     rows = []
@@ -270,8 +287,11 @@ def format_report(engine_rows, hotspot_rows, telemetry_rows, sweep_rows,
     if sweep_rows is not None:
         lines.append("")
         cases = len(sweep_cases())
+        identity = sweep_experiment_identity(cycles)
         lines.append(f"figure 6 slice sweep ({cases} cases, "
                      f"{cycles} cycles each)")
+        lines.append(f"experiment {identity['id']} "
+                     f"(spec {identity['spec_hash'][:16]})")
         lines.append(f"{'executor':<28}{'seconds':>9}{'vs serial':>13}")
         for label, elapsed, speedup in sweep_rows:
             lines.append(f"{label:<28}{elapsed:>9.3f}{speedup:>12.1f}x")
@@ -293,6 +313,7 @@ def json_report(engine_rows, cycles: int, workers: int) -> dict:
         "code_salt": code_salt(),
         "cores": list(ENGINE_CORES),
         "shapes": engine_rows,
+        "sweep_experiment": sweep_experiment_identity(cycles),
     }
 
 

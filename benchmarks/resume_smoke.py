@@ -1,0 +1,110 @@
+"""Sweep interrupt/resume smoke: byte-identity of resumed experiments.
+
+The experiment store's core promise (ISSUE 8) is that a sweep interrupted
+at any point and resumed later produces records byte-identical to an
+uninterrupted run, without re-simulating completed cases.  This script
+checks that promise end to end on a tiny figure-6-style grid:
+
+1. run the grid clean (fresh store, no case cache) and serialise every
+   record to canonical JSON;
+2. run the same grid in a fresh store with a fault injected at ~50% of
+   the cases (:attr:`CaseRunner.fault_after` — the crash seam the tests
+   use), leaving the experiment half done;
+3. resume it with a brand-new runner against the same store, then
+   byte-compare the full record set against step 1.
+
+Exit status is 0 only if the interrupted-then-resumed bytes match the
+clean bytes exactly and the resume left the experiment ``done``.  CI runs
+this as the sweep-resume smoke step::
+
+    PYTHONPATH=src python benchmarks/resume_smoke.py
+    PYTHONPATH=src python benchmarks/resume_smoke.py --workers 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+from repro.config import FAST_GPU
+from repro.harness.cache import record_to_dict
+from repro.harness.expdb import DONE, ExperimentDB
+from repro.harness.parallel import ParallelCaseRunner
+from repro.harness.runner import CaseRunner, CaseSpec, SweepInterrupted
+
+CYCLES = 4_000
+
+SPECS = [
+    CaseSpec.pair("sgemm", "lbm", 0.5, "rollover"),
+    CaseSpec.pair("mri-q", "spmv", 0.65, "rollover"),
+    CaseSpec.pair("sgemm", "lbm", 0.8, "spart"),
+    CaseSpec.pair("stencil", "histo", 0.5, "rollover"),
+]
+
+
+def dump(records) -> str:
+    """Canonical bytes of a record list (sorted-keys JSON)."""
+    return json.dumps([record_to_dict(record) for record in records],
+                      sort_keys=True)
+
+
+def make_runner(workers: int, db: ExperimentDB):
+    if workers > 1:
+        return ParallelCaseRunner(FAST_GPU, CYCLES, workers=workers,
+                                  expdb=db)
+    return CaseRunner(FAST_GPU, CYCLES, expdb=db)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--workers", type=int, default=1,
+                        help="pool width for the interrupted/resumed runs "
+                             "(1 = serial CaseRunner; default: 1)")
+    args = parser.parse_args()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        clean_db = ExperimentDB(Path(tmp) / "clean.sqlite")
+        clean = dump(CaseRunner(FAST_GPU, CYCLES, expdb=clean_db)
+                     .sweep(SPECS))
+        clean_db.close()
+        print(f"[clean] {len(SPECS)} cases swept")
+
+        db = ExperimentDB(Path(tmp) / "resumable.sqlite")
+        runner = make_runner(args.workers, db)
+        runner.fault_after = len(SPECS) // 2
+        try:
+            runner.sweep(SPECS)
+        except SweepInterrupted:
+            pass
+        else:
+            print("FAIL: fault injection did not interrupt the sweep",
+                  file=sys.stderr)
+            return 1
+        experiment_id = runner.experiment_log[0][0]
+        counts = db.case_counts(experiment_id)
+        print(f"[interrupted] {experiment_id}: "
+              f"{counts.get(DONE, 0)}/{len(SPECS)} cases done at fault")
+
+        resumed = dump(make_runner(args.workers, db).sweep(SPECS))
+        status = db.experiment(experiment_id)["status"]
+        db.close()
+        print(f"[resumed] experiment status: {status}")
+
+        if status != DONE:
+            print("FAIL: resumed experiment is not marked done",
+                  file=sys.stderr)
+            return 1
+        if resumed != clean:
+            print("FAIL: resumed records differ from the clean sweep",
+                  file=sys.stderr)
+            return 1
+    print(f"OK: interrupt at {len(SPECS) // 2}/{len(SPECS)} + resume is "
+          "byte-identical to the clean sweep")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

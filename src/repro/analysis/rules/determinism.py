@@ -14,12 +14,19 @@ These rules flag the classic ways python code silently breaks that:
   history, which is easy to perturb from call sites);
 * ``DET007`` — ``sum(...)`` of floats over parallel-worker-produced
   results (warning: float addition is order-sensitive; ``math.fsum`` is
-  correctly rounded and therefore order-robust).
+  correctly rounded and therefore order-robust);
+* ``DET008`` — timestamps feeding result ordering or content identity:
+  ``ORDER BY <timestamp column>`` in SQL string constants, or a
+  timestamp-named key inside a dict passed to a digest/hash/key function.
+  The experiment store records wall-clock columns for operators; the moment
+  one leaks into an ``ORDER BY`` that feeds results, or into a hashed
+  payload, identical runs stop being identical.
 """
 
 from __future__ import annotations
 
 import ast
+import re
 from typing import Iterator, Optional, Set
 
 from repro.analysis.core import (
@@ -419,3 +426,81 @@ class FloatAccumulationOrderRule(Rule):
                     "order-robust, correctly-rounded accumulation")
         for node in nested:
             yield from self._check_scope(module, node)
+
+
+#: Column/key names that carry wall-clock values in this codebase (the
+#: experiment store's operator-facing columns plus the generic spellings).
+_TIMESTAMP_NAMES = ("claimed_at", "created_at", "finished_at", "started_at",
+                    "timestamp", "updated_at")
+
+#: Three-step match, tuned against prose false positives (docstrings are
+#: string constants too): the string must contain an SQL verb, and a
+#: timestamp name must appear in the column-list run directly after
+#: ``ORDER BY`` (word characters, dots, commas, whitespace — how real SQL
+#: spells it).  Documentation like ``ORDER BY <timestamp column>`` fails
+#: both the verb gate and the column-list capture.
+_SQL_VERB = re.compile(r"\b(SELECT|INSERT|UPDATE|DELETE|CREATE)\b")
+
+_ORDER_BY_COLUMNS = re.compile(r"ORDER\s+BY\s+([\w.\s,]+)", re.IGNORECASE)
+
+_TIMESTAMP_COLUMN = re.compile(
+    r"\b(" + "|".join(_TIMESTAMP_NAMES) + r")\b", re.IGNORECASE)
+
+#: A call is identity-forming when its name says it digests, hashes or keys
+#: its payload (``_digest``, ``case_key``, ``experiment_spec_hash``, ...).
+_IDENTITY_CALL_MARKERS = ("digest", "hash", "key")
+
+
+@register
+class TimestampIdentityRule(Rule):
+    id = "DET008"
+    severity = ERROR
+    summary = ("timestamp feeding result ordering or content identity: "
+               "ORDER BY <timestamp column> in SQL, or a timestamp key in "
+               "a digest/hash/key payload")
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if (isinstance(node, ast.Constant)
+                    and isinstance(node.value, str)
+                    and _SQL_VERB.search(node.value)):
+                for order_by in _ORDER_BY_COLUMNS.finditer(node.value):
+                    match = _TIMESTAMP_COLUMN.search(order_by.group(1))
+                    if match:
+                        yield self.finding(
+                            module, node.lineno,
+                            f"SQL orders rows by wall-clock column "
+                            f"'{match.group(1)}'; rows that feed results "
+                            "must be ordered by content-derived columns "
+                            "(ids, indices), never by when they were "
+                            "written")
+                        break
+            if isinstance(node, ast.Call):
+                yield from self._check_identity_call(module, node)
+
+    def _check_identity_call(self, module: ModuleInfo,
+                             node: ast.Call) -> Iterator[Finding]:
+        name = None
+        if isinstance(node.func, ast.Name):
+            name = node.func.id
+        elif isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+        if name is None:
+            return
+        lowered = name.lower()
+        if not any(marker in lowered for marker in _IDENTITY_CALL_MARKERS):
+            return
+        arguments = list(node.args) + [kw.value for kw in node.keywords]
+        for argument in arguments:
+            if not isinstance(argument, ast.Dict):
+                continue
+            for key in argument.keys:
+                if (isinstance(key, ast.Constant)
+                        and isinstance(key.value, str)
+                        and key.value in _TIMESTAMP_NAMES):
+                    yield self.finding(
+                        module, key.lineno,
+                        f"dict passed to {name}() carries timestamp key "
+                        f"'{key.value}': wall-clock values in a hashed "
+                        "payload make identical inputs hash differently "
+                        "on every run")

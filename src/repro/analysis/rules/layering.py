@@ -61,6 +61,20 @@ IMPORT_CONTRACTS: Tuple[ImportContract, ...] = (
                    "experiment harness, cluster scheduler or exporters"),
     ),
     ImportContract(
+        name="expdb-engine-independence",
+        packages=("repro.harness.expdb",),
+        forbidden=("repro.sim", "repro.kernels", "repro.qos",
+                   "repro.baselines", "repro.sharing", "repro.controllers",
+                   "repro.power", "repro.config", "repro.isa",
+                   "repro.harness.runner", "repro.harness.cache",
+                   "repro.harness.parallel", "repro.harness.experiments"),
+        rationale=("the experiment store deals only in plain JSON payloads "
+                   "and cache-key pointers; keeping it free of simulator, "
+                   "config and runner imports means a store can be opened, "
+                   "inspected and garbage-collected without loading the "
+                   "simulation stack (and can never influence results)"),
+    ),
+    ImportContract(
         name="runtime-analysis-independence",
         packages=("repro.config", "repro.isa", "repro.kernels", "repro.sim",
                   "repro.qos", "repro.baselines", "repro.sharing",

@@ -10,6 +10,8 @@ Examples::
     repro-gpu-qos fig06a --no-cache           # skip the persistent store
     repro-gpu-qos cache stats                 # inspect the persistent store
     repro-gpu-qos cache clear
+    repro-gpu-qos exp list                    # registered sweep experiments
+    repro-gpu-qos exp resume exp-0123abcd4567 # finish an interrupted sweep
     repro-gpu-qos trace mri-q lbm -o case.jsonl   # per-epoch telemetry
     repro-gpu-qos lint --strict               # static invariant checks
     repro-gpu-qos controllers compare         # SLO controller evaluation
@@ -18,7 +20,7 @@ Examples::
 
 Environment knobs: ``REPRO_WORKERS`` sets the default process-pool width,
 ``REPRO_CACHE`` relocates (path) or disables (``0``) the persistent case
-cache.
+cache, ``REPRO_EXPDB`` does the same for the SQLite experiment store.
 """
 
 from __future__ import annotations
@@ -56,7 +58,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig06a, table1, sec48_history), "
-             "'all', 'list', 'cache', 'trace', 'lint', or 'controllers'")
+             "'all', 'list', 'cache', 'exp', 'trace', 'lint', or "
+             "'controllers'")
     parser.add_argument(
         "action", nargs="?", default=None,
         help="subcommand for 'cache': stats or clear")
@@ -181,10 +184,13 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # 'trace', 'lint' and 'controllers' have their own option grammars;
-    # dispatch before the main parse.
+    # 'trace', 'exp', 'lint' and 'controllers' have their own option
+    # grammars; dispatch before the main parse.
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
+    if argv and argv[0] == "exp":
+        from repro.harness.expcli import main as exp_main
+        return exp_main(argv[1:])
     if argv and argv[0] == "lint":
         from repro.analysis.cli import main as lint_main
         return lint_main(argv[1:])

@@ -226,6 +226,28 @@ class GPUConfig:
         return replace(self, **overrides)
 
 
+def gpu_config_from_dict(data: dict) -> GPUConfig:
+    """Rebuild a :class:`GPUConfig` from its ``dataclasses.asdict`` form.
+
+    The experiment store (:mod:`repro.harness.expdb`) persists the machine
+    description of every registered sweep as a nested dict; resuming an
+    interrupted sweep reconstructs the exact machine from it.  Unknown keys
+    are rejected (a schema drift should fail loudly, not run on defaults).
+    """
+    payload = dict(data)
+    memory = dict(payload.pop("memory", {}))
+    latency = memory.pop("latency", None)
+    if latency is not None:
+        memory["latency"] = LatencyConfig(**latency)
+    return GPUConfig(
+        sm=SMConfig(**payload.pop("sm", {})),
+        memory=MemoryConfig(**memory),
+        preemption=PreemptionConfig(**payload.pop("preemption", {})),
+        controller=ControllerConfig(**payload.pop("controller", {})),
+        **payload,
+    )
+
+
 PAPER_GPU = GPUConfig()
 
 PASCAL56_GPU = GPUConfig(

@@ -46,7 +46,7 @@ ENV_CACHE = "REPRO_CACHE"
 #: logic below decides what a cached entry means.
 _SALTED = ("config.py", "isa", "kernels", "sim", "qos", "baselines",
            "controllers", "sharing", "power", "harness/runner.py",
-           "harness/cache.py")
+           "harness/cache.py", "harness/expdb.py")
 
 _code_salt_memo: Optional[str] = None
 
@@ -137,6 +137,34 @@ def case_key(gpu: GPUConfig, names: Sequence[str],
     # record without (or with unwanted) telemetry attached.
     payload["telemetry"] = bool(telemetry)
     return _digest(payload)
+
+
+# ------------------------------------------------- experiment (sweep) keying
+# The experiment store (:mod:`repro.harness.expdb`) is engine-independent
+# and deals only in plain payloads, so the content-hash identity of a sweep
+# lives here with the other keying logic.  Experiment identity is purely
+# content-derived — machine payload (which embeds the code salt) plus the
+# ordered spec grid — never timestamps (lint rule DET008).
+
+def sweep_grid_payload(gpu: GPUConfig, cycles: int, warmup: int,
+                       telemetry: bool, spec_payloads: Sequence[dict]) -> dict:
+    """The full JSON-able description of one sweep: everything needed both
+    to identify it (hash) and to rebuild its runner on resume."""
+    payload = _machine_payload(gpu, cycles, warmup)
+    payload["kind"] = "experiment"
+    payload["telemetry"] = bool(telemetry)
+    payload["specs"] = list(spec_payloads)
+    return payload
+
+
+def experiment_spec_hash(grid: dict) -> str:
+    return _digest(grid)
+
+
+def experiment_id_for(spec_hash: str) -> str:
+    """Experiment ids are a readable prefix of the spec hash: the same grid
+    under the same code always maps to the same experiment."""
+    return f"exp-{spec_hash[:12]}"
 
 
 # ------------------------------------------------------------ serialisation

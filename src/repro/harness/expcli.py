@@ -1,0 +1,171 @@
+"""``repro-gpu-qos exp``: operate on the persistent experiment store.
+
+Subcommands::
+
+    exp list              every registered experiment (id, status, progress)
+    exp show <id>         grid summary and per-status case counts
+    exp resume <id>       pull the remaining pending cases of an experiment
+    exp gc                drop experiments stale under the current code salt
+
+``resume`` rebuilds the exact runner from the stored grid — machine config,
+cycle counts, telemetry flag and spec list all come from the experiment row
+— and re-enters the ordinary pull loop: cases already done are skipped,
+cases left ``running``/``failed`` by the interrupted run are released back
+to pending, and the records produced are byte-identical to an uninterrupted
+sweep (the simulator is deterministic and case identity is content-hashed).
+
+An experiment registered under a different code salt cannot be resumed:
+the cached records its done cases point to are unreachable after a code
+edit, so resuming would silently mix toolchains.  ``exp gc`` deletes such
+experiments (and, with ``--done``, completed ones).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Optional, Sequence
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-gpu-qos exp",
+        description="Inspect, resume and garbage-collect the persistent "
+                    "experiment store (REPRO_EXPDB)")
+    commands = parser.add_subparsers(dest="command", required=True)
+    commands.add_parser("list", help="list registered experiments")
+    show = commands.add_parser("show", help="describe one experiment")
+    show.add_argument("experiment_id")
+    resume = commands.add_parser(
+        "resume", help="run the remaining pending cases of an experiment")
+    resume.add_argument("experiment_id")
+    resume.add_argument("--workers", type=int, default=None,
+                        help="process-pool width (default: REPRO_WORKERS "
+                             "or cpu_count-1)")
+    resume.add_argument("--no-cache", action="store_true",
+                        help="do not read or write the persistent case cache")
+    gc = commands.add_parser(
+        "gc", help="drop experiments whose code salt no longer matches")
+    gc.add_argument("--done", action="store_true",
+                    help="also drop completed experiments")
+    return parser
+
+
+def _open_store():
+    from repro.harness.expdb import open_default_expdb
+    db = open_default_expdb()
+    if db is None:
+        print("experiment store disabled by REPRO_EXPDB", file=sys.stderr)
+    return db
+
+
+def _progress(db, experiment_id: str) -> str:
+    counts = db.case_counts(experiment_id)
+    done = counts.get("done", 0)
+    total = sum(counts.values())
+    return f"{done}/{total}"
+
+
+def _list_command(db) -> int:
+    from repro.harness.cache import code_salt
+    current_salt = code_salt()
+    records = db.experiments()
+    if not records:
+        print("no experiments registered")
+        return 0
+    print(f"{'id':<18} {'status':<8} {'done':>9}  {'salt':<7} created")
+    for record in records:
+        salt = ("current" if record["code_salt"] == current_salt else "stale")
+        created = time.strftime(  # repro: noqa=DET001
+            "%Y-%m-%d %H:%M", time.localtime(record["created_at"]))
+        print(f"{record['id']:<18} {record['status']:<8} "
+              f"{_progress(db, record['id']):>9}  {salt:<7} {created}")
+    return 0
+
+
+def _show_command(db, experiment_id: str) -> int:
+    from repro.harness.cache import code_salt
+    record = db.experiment(experiment_id)
+    if record is None:
+        print(f"unknown experiment {experiment_id!r}", file=sys.stderr)
+        return 2
+    grid = record["grid"]
+    print(f"id:         {record['id']}")
+    print(f"status:     {record['status']}")
+    print(f"spec hash:  {record['spec_hash']}")
+    salt_state = ("current" if record["code_salt"] == code_salt()
+                  else "STALE (resume refused; run 'exp gc')")
+    print(f"code salt:  {record['code_salt']} ({salt_state})")
+    print(f"machine:    {grid['gpu']['num_sms']} SMs, "
+          f"{grid['gpu']['num_mcs']} MCs, engine core "
+          f"{grid['gpu']['engine_core']}")
+    print(f"cycles:     {grid['cycles']} (+{grid['warmup']} warm-up), "
+          f"telemetry {'on' if grid['telemetry'] else 'off'}")
+    print(f"cases:      {record['total_cases']}")
+    for status, count in sorted(db.case_counts(experiment_id).items()):
+        print(f"  {status:<9} {count}")
+    isolated = db.isolated_ipcs(experiment_id)
+    if isolated:
+        print(f"isolated:   {len(isolated)} denominators recorded "
+              f"({', '.join(sorted(isolated))})")
+    return 0
+
+
+def _resume_command(db, experiment_id: str, workers: Optional[int],
+                    no_cache: bool) -> int:
+    from repro.config import gpu_config_from_dict
+    from repro.harness.cache import code_salt, open_default_cache
+    from repro.harness.parallel import ParallelCaseRunner
+    from repro.harness.runner import CaseSpec
+
+    record = db.experiment(experiment_id)
+    if record is None:
+        print(f"unknown experiment {experiment_id!r}", file=sys.stderr)
+        return 2
+    if record["code_salt"] != code_salt():
+        print(f"refusing to resume {experiment_id}: registered under code "
+              f"salt {record['code_salt']}, current is {code_salt()} "
+              "(its cached results are unreachable; run 'exp gc')",
+              file=sys.stderr)
+        return 2
+    before = db.case_counts(experiment_id)
+    pending = sum(count for status, count in before.items()
+                  if status != "done")
+    grid = record["grid"]
+    runner = ParallelCaseRunner(
+        gpu_config_from_dict(grid["gpu"]), grid["cycles"],
+        warmup_cycles=grid["warmup"],
+        cache=None if no_cache else open_default_cache(),
+        workers=workers, telemetry=bool(grid["telemetry"]), expdb=db)
+    specs = [CaseSpec.from_payload(payload) for payload in grid["specs"]]
+    records = runner.sweep(specs)
+    after = db.case_counts(experiment_id)
+    print(f"{experiment_id}: {after.get('done', 0)}/{len(records)} cases "
+          f"done ({pending} were outstanding)", file=sys.stderr)
+    return 0
+
+
+def _gc_command(db, drop_done: bool) -> int:
+    from repro.harness.cache import code_salt
+    removed = db.gc(current_salt=code_salt(), drop_done=drop_done)
+    print(f"dropped {removed} experiment(s)")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    db = _open_store()
+    if db is None:
+        return 0
+    try:
+        if args.command == "list":
+            return _list_command(db)
+        if args.command == "show":
+            return _show_command(db, args.experiment_id)
+        if args.command == "resume":
+            return _resume_command(db, args.experiment_id, args.workers,
+                                   args.no_cache)
+        return _gc_command(db, args.done)
+    finally:
+        db.close()

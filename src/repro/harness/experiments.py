@@ -23,10 +23,11 @@ from repro.harness.metrics import (
     qos_reach,
     MISS_BUCKETS,
 )
-from repro.harness.cache import open_default_cache
+from repro.harness.cache import code_salt, open_default_cache
+from repro.harness.expdb import open_default_expdb
 from repro.harness.parallel import ParallelCaseRunner
 from repro.harness.presets import ExperimentPreset, FAST_PRESET
-from repro.harness.report import format_table, series_rows
+from repro.harness.report import format_table, provenance_footer, series_rows
 from repro.harness.runner import CaseRecord, CaseRunner, CaseSpec
 
 PAIR_POLICIES = ("spart", "naive", "elastic", "rollover")
@@ -40,6 +41,12 @@ class ExperimentResult:
     title: str
     table: str
     data: Dict = field(default_factory=dict)
+    #: ``((experiment id, spec hash), ...)`` of every sweep this figure
+    #: registered in the persistent experiment store, in registration
+    #: order — set by :meth:`ExperimentSuite.run`, empty when the store is
+    #: disabled.  The same pairs appear as the ``[provenance]`` footer of
+    #: :attr:`table` (and therefore of every committed ``results/*.txt``).
+    provenance: Tuple[Tuple[str, str], ...] = ()
 
     def __str__(self) -> str:
         return self.table
@@ -57,10 +64,12 @@ class ExperimentSuite:
     """
 
     def __init__(self, preset: ExperimentPreset = FAST_PRESET,
-                 workers: Optional[int] = None, cache="default"):
+                 workers: Optional[int] = None, cache="default",
+                 expdb="default"):
         self.preset = preset
         self.workers = workers
         self.cache = open_default_cache() if cache == "default" else cache
+        self.expdb = open_default_expdb() if expdb == "default" else expdb
         self._runners: Dict[Tuple[GPUConfig, int], CaseRunner] = {}
 
     def runner(self, gpu: Optional[GPUConfig] = None,
@@ -68,22 +77,26 @@ class ExperimentSuite:
         key = (gpu or self.preset.gpu, cycles or self.preset.cycles)
         if key not in self._runners:
             self._runners[key] = ParallelCaseRunner(
-                *key, cache=self.cache, workers=self.workers)
+                *key, cache=self.cache, workers=self.workers,
+                expdb=self.expdb)
         return self._runners[key]
 
     # ----------------------------------------------------------- sweeps
 
     def pair_cases(self, policy: str, goal: float,
                    gpu: Optional[GPUConfig] = None) -> List[CaseRecord]:
+        # register=False: figure drivers submit their full grid through
+        # _sweep_pairs first; these per-(policy, goal) re-sweeps are memo
+        # slices and must not flood the store with sub-experiments.
         return self.runner(gpu).sweep(
             [CaseSpec.pair(qos, nonqos, goal, policy)
-             for qos, nonqos in self.preset.pairs])
+             for qos, nonqos in self.preset.pairs], register=False)
 
     def trio_cases(self, policy: str, goal: float,
                    qos_count: int) -> List[CaseRecord]:
         return self.runner().sweep(
             [CaseSpec.trio(trio, qos_count, goal, policy)
-             for trio in self.preset.trios])
+             for trio in self.preset.trios], register=False)
 
     def _sweep_pairs(self, policies: Sequence[str], goals: Sequence[float],
                      gpu: Optional[GPUConfig] = None) -> None:
@@ -662,10 +675,29 @@ class ExperimentSuite:
                    "ext_fusion")
 
     def run(self, experiment_id: str) -> ExperimentResult:
+        """Run one figure driver and stamp its provenance.
+
+        Whatever sweeps the driver registers in the persistent experiment
+        store while running land (deduplicated, in registration order) in
+        :attr:`ExperimentResult.provenance`, and the table gains a
+        ``[provenance]`` footer naming the experiment ids, spec hashes and
+        code salt — the line committed ``results/*.txt`` files carry.
+        """
         if experiment_id not in self.EXPERIMENTS:
             raise ValueError(f"unknown experiment {experiment_id!r}; "
                              f"choose from {self.EXPERIMENTS}")
-        return getattr(self, experiment_id)()
+        marks = {key: len(runner.experiment_log)
+                 for key, runner in self._runners.items()}
+        result = getattr(self, experiment_id)()
+        entries: List[Tuple[str, str]] = []
+        for key, runner in self._runners.items():
+            for entry in runner.experiment_log[marks.get(key, 0):]:
+                if entry not in entries:
+                    entries.append(entry)
+        result.provenance = tuple(entries)
+        result.table = (result.table.rstrip("\n") + "\n\n"
+                        + provenance_footer(code_salt(), result.provenance))
+        return result
 
     def run_all(self) -> List[ExperimentResult]:
         return [self.run(experiment_id) for experiment_id in self.EXPERIMENTS]

@@ -3,7 +3,7 @@ figures (one row per x-axis category, one column per scheme/series)."""
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def _format_cell(value, width: int) -> str:
@@ -42,3 +42,21 @@ def series_rows(x_labels: Sequence, series: Dict[str, Dict],
     for x in x_labels:
         rows.append((x,) + tuple(series[col].get(x) for col in columns))
     return rows
+
+
+def provenance_footer(code_salt: str,
+                      experiments: Sequence[Tuple[str, str]]) -> str:
+    """One machine-greppable line tying a committed table back to the
+    experiment-store rows (and code salt) that produced it.
+
+    Everything in the line is content-derived — experiment ids and spec
+    hashes are hashes of the grid, the salt a hash of the source tree — so
+    regenerating an unchanged figure on any machine reproduces the footer
+    byte for byte.
+    """
+    parts = [f"code salt {code_salt}"]
+    if experiments:
+        parts.append("experiments: " + ", ".join(
+            f"{experiment_id} (spec {spec_hash[:16]})"
+            for experiment_id, spec_hash in experiments))
+    return "[provenance] " + "; ".join(parts)

@@ -17,6 +17,7 @@ Two layers extend the in-process memo:
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -76,6 +77,44 @@ class CaseSpec:
         flags = tuple(i < qos_count for i in range(len(names)))
         fractions = tuple(goal if flag else None for flag in flags)
         return cls(tuple(names), flags, fractions, policy)
+
+    @property
+    def key(self) -> tuple:
+        """The in-process memo key shared by both runners."""
+        return (self.names, self.qos_flags, self.goal_fractions, self.policy)
+
+    def payload(self) -> dict:
+        """Plain JSON-able form, the shape stored in the experiment DB."""
+        return {"names": list(self.names), "qos": list(self.qos_flags),
+                "goals": list(self.goal_fractions), "policy": self.policy}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "CaseSpec":
+        return cls(tuple(payload["names"]),
+                   tuple(bool(flag) for flag in payload["qos"]),
+                   tuple(payload["goals"]), payload["policy"])
+
+
+class SweepInterrupted(RuntimeError):
+    """Raised by the fault-injection seam (:attr:`CaseRunner.fault_after`):
+    the controlled stand-in for a worker crash or a killed process that the
+    interrupt/resume tests and the CI resume-smoke step rely on."""
+
+
+@dataclass(frozen=True)
+class RegisteredSweep:
+    """One sweep registered in an experiment store (persistent or ephemeral).
+
+    ``persistent`` distinguishes the shared on-disk store — whose ids are
+    worth reporting as provenance and resuming later — from the throwaway
+    in-memory store every unregistered sweep still routes through (so the
+    pull-based claim loop is never a special case).
+    """
+
+    db: object  # ExperimentDB (kept untyped: expdb is imported lazily)
+    experiment_id: str
+    spec_hash: str
+    persistent: bool
 
 
 @dataclass(frozen=True)
@@ -161,7 +200,7 @@ class CaseRunner:
 
     def __init__(self, gpu: GPUConfig, cycles: int,
                  warmup_cycles: Optional[int] = None, cache=None,
-                 telemetry: bool = False):
+                 telemetry: bool = False, expdb=None):
         self.gpu = gpu
         self.cycles = cycles
         if warmup_cycles is None:
@@ -170,11 +209,26 @@ class CaseRunner:
         #: Optional :class:`repro.harness.cache.CaseCache`; consulted on memo
         #: misses, fed on every fresh simulation.
         self.cache = cache
+        #: Optional :class:`repro.harness.expdb.ExperimentDB`.  When set,
+        #: :meth:`sweep` registers its grid there and the sweep becomes
+        #: durable: interruptible, resumable (``repro exp resume``) and
+        #: attributable (provenance ids in :attr:`experiment_log`).  When
+        #: None, sweeps route through a throwaway in-memory store instead —
+        #: same claim loop, zero persistence.
+        self.expdb = expdb
         #: When True, every co-run case carries its per-epoch telemetry
         #: stream in :attr:`CaseRecord.telemetry` (isolated runs are never
         #: telemetered — they only produce a scalar IPC).  Part of the cache
         #: key: telemetry-bearing records are cached separately.
         self.telemetry = telemetry
+        #: ``(experiment id, spec hash)`` of every sweep this runner
+        #: registered in the *persistent* store, in registration order —
+        #: the raw material of figure provenance lines.
+        self.experiment_log: List[Tuple[str, str]] = []
+        #: Test seam: raise :class:`SweepInterrupted` after this many cases
+        #: of a sweep complete — the interrupt half of the interrupt/resume
+        #: differential tests.  None (the default) never fires.
+        self.fault_after: Optional[int] = None
         self._isolated: Dict[str, float] = {}
         self._cases: Dict[tuple, CaseRecord] = {}
         self._power = PowerModel(gpu)
@@ -284,16 +338,123 @@ class CaseRunner:
 
     # ---------------------------------------------------------------- sweeps
 
-    def sweep(self, cases: Sequence[CaseSpec]) -> List[CaseRecord]:
+    def sweep(self, cases: Sequence[CaseSpec],
+              register: bool = True) -> List[CaseRecord]:
         """Run a batch of cases, returning records in input order.
 
-        The serial implementation just loops; the parallel runner overrides
-        this to fan independent cases out over a process pool.  Both return
-        identical records for identical inputs.
+        Every sweep is an *experiment*: the full grid is registered in the
+        experiment store (the runner's persistent :attr:`expdb` when set
+        and ``register`` is True, a throwaway in-memory store otherwise)
+        and cases are **pulled** from its table one claim at a time rather
+        than consumed as a static list.  Already-done cases — from the
+        memo, the persistent case cache, or a previous interrupted run of
+        the same grid — are never re-simulated, which is what makes
+        ``repro exp resume`` converge on records byte-identical to an
+        uninterrupted run.
+
+        The serial implementation claims and runs one case at a time; the
+        parallel runner overrides :meth:`_pull_pending` to fan claims out
+        over a process pool.  Both return identical records for identical
+        inputs.  ``register=False`` keeps a sweep out of the persistent
+        store — for memo-slicing re-sweeps of grids already registered.
         """
+        specs = list(cases)
+        if not specs:
+            return []
+        sweep_reg = self._register_sweep(specs, register)
+        try:
+            self._pull_pending(sweep_reg)
+        finally:
+            sweep_reg.db.finish(sweep_reg.experiment_id)
+            if not sweep_reg.persistent:
+                sweep_reg.db.close()
         return [self.run_case(spec.names, spec.qos_flags,
                               spec.goal_fractions, spec.policy)
-                for spec in cases]
+                for spec in specs]
+
+    # ------------------------------------------------- experiment plumbing
+
+    def _register_sweep(self, specs: Sequence[CaseSpec],
+                        register: bool) -> RegisteredSweep:
+        """Register the grid in the experiment store (idempotent: the same
+        grid under the same code always maps to the same experiment id)."""
+        from repro.harness.cache import (case_key, code_salt,
+                                         experiment_id_for,
+                                         experiment_spec_hash,
+                                         sweep_grid_payload)
+        from repro.harness.expdb import ExperimentDB
+
+        payloads = [spec.payload() for spec in specs]
+        grid = sweep_grid_payload(self.gpu, self.cycles, self.warmup_cycles,
+                                  self.telemetry, payloads)
+        spec_hash = experiment_spec_hash(grid)
+        experiment_id = experiment_id_for(spec_hash)
+        persistent = register and self.expdb is not None
+        db = self.expdb if persistent else ExperimentDB(":memory:")
+        case_rows = [
+            (payload, case_key(self.gpu, spec.names, spec.qos_flags,
+                               spec.goal_fractions, spec.policy, self.cycles,
+                               self.warmup_cycles, telemetry=self.telemetry))
+            for spec, payload in zip(specs, payloads)]
+        db.register(experiment_id, spec_hash, code_salt(), grid, case_rows)
+        if persistent:
+            self.experiment_log.append((experiment_id, spec_hash))
+        return RegisteredSweep(db, experiment_id, spec_hash, persistent)
+
+    def _seed_isolated_from(self, sweep_reg: RegisteredSweep) -> None:
+        """Adopt isolated-IPC denominators a previous (interrupted) run of
+        this experiment already computed, so resume never re-simulates
+        them — even with the persistent case cache disabled."""
+        for name, ipc in sweep_reg.db.isolated_ipcs(
+                sweep_reg.experiment_id).items():
+            self._isolated.setdefault(name, ipc)
+
+    def _record_isolated(self, sweep_reg: RegisteredSweep,
+                         names: Sequence[str]) -> None:
+        if not sweep_reg.persistent:
+            return
+        from repro.harness.cache import isolated_key
+        for name in names:
+            if name in self._isolated:
+                sweep_reg.db.record_isolated(
+                    sweep_reg.experiment_id, name,
+                    isolated_key(self.gpu, name, self.cycles,
+                                 self.warmup_cycles),
+                    self._isolated[name])
+
+    def _fault_check(self, completed: int) -> None:
+        if self.fault_after is not None and completed >= self.fault_after:
+            raise SweepInterrupted(
+                f"fault injected after {completed} completed cases")
+
+    def _pull_pending(self, sweep_reg: RegisteredSweep) -> None:
+        """Claim and run pending cases until the table is drained.
+
+        A case that raises is marked failed and the exception propagates
+        (the sweep aborts like a crashed process would); everything already
+        marked done stays done, so the next run of the same grid resumes.
+        """
+        db, experiment_id = sweep_reg.db, sweep_reg.experiment_id
+        db.release_stale(experiment_id)
+        self._seed_isolated_from(sweep_reg)
+        worker = f"serial:{os.getpid()}"
+        completed = 0
+        while True:
+            claim = db.claim_next(experiment_id, worker)
+            if claim is None:
+                break
+            case_index, payload = claim
+            spec = CaseSpec.from_payload(payload)
+            try:
+                self.run_case(spec.names, spec.qos_flags,
+                              spec.goal_fractions, spec.policy)
+            except BaseException as error:
+                db.mark_failed(experiment_id, case_index, repr(error))
+                raise
+            self._record_isolated(sweep_reg, spec.names)
+            db.mark_done(experiment_id, case_index)
+            completed += 1
+            self._fault_check(completed)
 
     # ---------------------------------------------------------- conveniences
 

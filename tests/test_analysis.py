@@ -302,6 +302,64 @@ class TestFloatAccumulationOrder:
         assert findings == []
 
 
+class TestTimestampIdentity:
+    def test_flags_order_by_timestamp_column(self):
+        findings = snippet('''
+            QUERY = "SELECT * FROM cases ORDER BY claimed_at"
+            ''')
+        assert rules_of(findings) == ["DET008"]
+        assert "claimed_at" in findings[0].message
+
+    def test_flags_timestamp_deeper_in_the_column_list(self):
+        findings = snippet('''
+            QUERY = "SELECT id FROM experiments ORDER BY status, created_at DESC"
+            ''')
+        assert rules_of(findings) == ["DET008"]
+
+    def test_quiet_on_content_derived_ordering(self):
+        findings = snippet('''
+            A = "SELECT * FROM cases ORDER BY case_index LIMIT 1"
+            B = "SELECT * FROM experiments ORDER BY id"
+            C = "UPDATE cases SET claimed_at = ? WHERE case_index = ?"
+            ''')
+        assert findings == []
+
+    def test_quiet_on_prose_mentioning_order_by(self):
+        findings = snippet('''
+            """Rows must never use ORDER BY <timestamp column>; a plain
+            ORDER BY over ids is fine, and so is a later timestamp word."""
+            ''')
+        assert findings == []
+
+    def test_flags_timestamp_key_in_digest_payload(self):
+        findings = snippet("""
+            def identity(digest):
+                return digest({"goal": 0.5, "created_at": 12.0})
+            """)
+        assert rules_of(findings) == ["DET008"]
+        assert "created_at" in findings[0].message
+
+    def test_flags_timestamp_key_in_key_function_call(self):
+        findings = snippet("""
+            def keyed(case_key):
+                return case_key(payload={"timestamp": 1.0})
+            """)
+        assert rules_of(findings) == ["DET008"]
+
+    def test_quiet_on_timestamp_dict_outside_identity_calls(self):
+        findings = snippet("""
+            def report(write_row):
+                return write_row({"created_at": 12.0, "status": "done"})
+            """)
+        assert findings == []
+
+    def test_noqa_suppresses(self):
+        findings = snippet('''
+            QUERY = "SELECT * FROM cases ORDER BY finished_at"  # repro: noqa=DET008
+            ''')
+        assert findings == []
+
+
 # ---------------------------------------------------------------- LAY rules
 
 class TestImportContractRule:
@@ -375,6 +433,29 @@ class TestImportContractRule:
             rule_ids=["LAY001"])
         assert rules_of(findings) == ["LAY001"]
         assert "runtime-analysis-independence" in findings[0].message
+
+    def test_expdb_may_not_import_the_simulation_stack(self):
+        for forbidden in ("repro.sim", "repro.config",
+                          "repro.harness.runner", "repro.harness.cache"):
+            findings = snippet(
+                f"""
+                import {forbidden}
+                """,
+                name="repro.harness.expdb",
+                rule_ids=["LAY001"])
+            assert rules_of(findings) == ["LAY001"], forbidden
+            assert "expdb-engine-independence" in findings[0].message
+
+    def test_other_harness_modules_may_import_expdb(self):
+        # The dependency is one-way: runner/cli layers import the store,
+        # never the reverse.
+        findings = snippet(
+            """
+            from repro.harness.expdb import ExperimentDB
+            """,
+            name="repro.harness.runner",
+            rule_ids=["LAY001"])
+        assert findings == []
 
 
 class TestPolicyContextSeamRules:
@@ -569,6 +650,15 @@ class TestSaltCoverage:
         assert any(path.startswith("controllers/")
                    for path in salted_paths())
 
+    def test_shipped_salt_covers_the_experiment_store(self):
+        # The runner lazily imports repro.harness.expdb, pulling it into
+        # the SALT001 closure: were it missing from _SALTED, editing the
+        # claim protocol could not invalidate cached sweeps even though
+        # resumability semantics changed under them.
+        from repro.harness.cache import _SALTED, salted_paths
+        assert "harness/expdb.py" in _SALTED
+        assert "harness/expdb.py" in salted_paths()
+
 
 TELEMETRY_TEMPLATE = """
 from dataclasses import dataclass
@@ -697,8 +787,8 @@ class TestShippedTreeIsClean:
         from repro.analysis import all_rules
         registry = all_rules()
         assert {"DET001", "DET002", "DET003", "DET004", "DET005", "DET006",
-                "DET007", "LAY001", "LAY002", "LAY003", "SALT001", "SALT002",
-                "SCHEMA001"} <= set(registry)
+                "DET007", "DET008", "LAY001", "LAY002", "LAY003", "SALT001",
+                "SALT002", "SCHEMA001"} <= set(registry)
         for rule in registry.values():
             assert rule.summary
             assert rule.scope in ("module", "project")

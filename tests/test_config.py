@@ -153,3 +153,35 @@ class TestMemoryConfig:
         mem = MemoryConfig()
         assert mem.l1_size % (mem.l1_assoc * mem.line_size) == 0
         assert mem.l2_slice_size % (mem.l2_assoc * mem.line_size) == 0
+
+
+class TestConfigRoundTrip:
+    """asdict -> gpu_config_from_dict must be lossless (resume depends on
+    rebuilding the exact machine from the experiment store's grid)."""
+
+    def test_round_trip_every_preset(self):
+        import dataclasses
+
+        from repro.config import gpu_config_from_dict
+
+        for gpu in (PAPER_GPU, PASCAL56_GPU, FAST_GPU):
+            rebuilt = gpu_config_from_dict(dataclasses.asdict(gpu))
+            assert rebuilt == gpu
+
+    def test_round_trip_non_default_machine(self):
+        import dataclasses
+
+        from repro.config import gpu_config_from_dict
+
+        gpu = FAST_GPU.scaled(num_sms=2, engine_core="batch")
+        assert gpu_config_from_dict(dataclasses.asdict(gpu)) == gpu
+
+    def test_unknown_keys_fail_loudly(self):
+        import dataclasses
+
+        from repro.config import gpu_config_from_dict
+
+        payload = dataclasses.asdict(FAST_GPU)
+        payload["warp_width"] = 64
+        with pytest.raises(TypeError):
+            gpu_config_from_dict(payload)

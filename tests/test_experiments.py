@@ -136,3 +136,31 @@ class TestPaperShapeClaims:
         timed = series["rollover-time"]["AVG"]
         if rollover is not None and timed is not None:
             assert timed <= rollover * 1.1
+
+
+class TestProvenance:
+    """suite.run() must thread experiment-store provenance into the result
+    (ISSUE 8): which registered experiments the table was computed from."""
+
+    def test_run_attaches_experiment_provenance(self, suite):
+        result = suite.run("fig06a")
+        assert isinstance(result, ExperimentResult)
+        assert result.provenance, "sweeping figures must cite experiments"
+        for experiment_id, spec_hash in result.provenance:
+            assert experiment_id.startswith("exp-")
+            assert experiment_id == f"exp-{spec_hash[:12]}"
+            assert len(spec_hash) == 64
+
+    def test_run_appends_provenance_footer_to_table(self, suite):
+        result = suite.run("fig06a")
+        footer = result.table.splitlines()[-1]
+        assert footer.startswith("[provenance] code salt ")
+        for experiment_id, _ in result.provenance:
+            assert experiment_id in footer
+
+    def test_tables_carry_salt_but_no_experiments(self, suite):
+        # table1 reads the machine config; it sweeps nothing.
+        result = suite.run("table1")
+        assert result.provenance == ()
+        assert "[provenance] code salt " in result.table
+        assert "experiments:" not in result.table
