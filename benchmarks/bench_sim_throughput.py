@@ -131,9 +131,9 @@ def _time_run(gpu, launches, policy_name, cycles, repeats=2,
         policy = QoSPolicy(policy_name) if policy_name else None
         recorder = TelemetryRecorder() if telemetry else None
         sim = GPUSimulator(gpu, launches(), policy, telemetry=recorder)
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
         sim.run(cycles)
-        elapsed = time.perf_counter() - started
+        elapsed = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
         best = elapsed if best is None else min(best, elapsed)
     return best
 
@@ -229,24 +229,24 @@ def sweep_timings(cycles: int, workers: int) -> list:
     cases = sweep_cases()
     rows = []
 
-    started = time.perf_counter()
+    started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
     serial_records = CaseRunner(FAST_GPU, cycles).sweep(cases)
-    serial = time.perf_counter() - started
+    serial = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
     rows.append(("serial CaseRunner", serial, 1.0))
 
     with tempfile.TemporaryDirectory() as tmp:
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
         parallel_records = ParallelCaseRunner(
             FAST_GPU, cycles, workers=workers,
             cache=CaseCache(pathlib.Path(tmp))).sweep(cases)
-        parallel = time.perf_counter() - started
+        parallel = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
         rows.append((f"parallel x{workers}", parallel, serial / parallel))
 
-        started = time.perf_counter()
+        started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
         warm_records = ParallelCaseRunner(
             FAST_GPU, cycles, workers=workers,
             cache=CaseCache(pathlib.Path(tmp))).sweep(cases)
-        warm = time.perf_counter() - started
+        warm = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
         rows.append(("warm cache rerun", warm, serial / warm))
 
     assert parallel_records == serial_records, "parallel sweep diverged"

@@ -1,0 +1,412 @@
+"""Whole-tree symbol table and call graph for the flow analyses.
+
+The syntactic rules of :mod:`repro.analysis.rules` look at one expression
+at a time; the flow rules (FLOW/EFFECT/FLOAT) need to know *who calls
+whom* so taint and effects can cross function boundaries.  This module
+builds that statically from a :class:`~repro.analysis.core.Project`:
+
+* :class:`FunctionInfo` / :class:`ClassInfo` — every ``def`` and
+  ``class`` in the analyzed tree, addressable by **qualified name**
+  (``repro.sim.policy.PolicyContext.set_quota``);
+* :class:`CallGraph` — the symbol table plus call-site resolution:
+  :meth:`CallGraph.resolve_call` maps a call expression to a
+  :class:`CallTarget`, understanding import aliases (via
+  :attr:`ModuleInfo.aliases`), module-level function aliasing
+  (``f = helper``), ``self.method()`` dispatch through the class and its
+  project-local bases, constructor calls (``Foo()`` →
+  ``Foo.__init__``), ``super().method()``, and — when the caller passes
+  ``local_types`` (the flow engine's variable→class bindings) —
+  ``obj.method()`` on variables of statically known class;
+* caller/callee edges (:meth:`CallGraph.callers_of`) that the
+  interprocedural fixpoint in :mod:`repro.analysis.flow` uses as its
+  worklist schedule.
+
+Resolution is deliberately best-effort: anything it cannot pin down comes
+back as an ``unknown-method`` / ``unknown`` target and the flow engine
+falls back to conservative heuristics.  Like everything in the analyzer,
+this is stdlib-only and never imports the code it describes.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.core import ModuleInfo, Project, dotted_name
+
+#: Decorators that change how a def's parameters bind.
+_STATIC_DECORATORS = {"staticmethod"}
+_CLASS_DECORATORS = {"classmethod"}
+
+
+@dataclass
+class FunctionInfo:
+    """One ``def`` in the analyzed tree."""
+
+    qname: str
+    name: str
+    module: ModuleInfo
+    node: ast.AST  # FunctionDef | AsyncFunctionDef
+    #: Qualified name of the owning class, None for module-level functions.
+    class_qname: Optional[str] = None
+    #: Parameter names in positional order (``self``/``cls`` included).
+    params: Tuple[str, ...] = ()
+    #: Decorator names as written (dotted where applicable).
+    decorators: Tuple[str, ...] = ()
+    line: int = 0
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_qname is not None
+
+    @property
+    def binds_instance(self) -> bool:
+        """Whether the first parameter is the instance/class receiver."""
+        if not self.is_method or not self.params:
+            return False
+        simple = {decorator.split(".")[-1] for decorator in self.decorators}
+        return not (simple & _STATIC_DECORATORS)
+
+    @property
+    def receiver_param(self) -> Optional[str]:
+        return self.params[0] if self.binds_instance else None
+
+
+@dataclass
+class ClassInfo:
+    """One ``class`` in the analyzed tree."""
+
+    qname: str
+    name: str
+    module: ModuleInfo
+    node: ast.ClassDef
+    #: Base names resolved to absolute dotted form where possible.
+    bases: Tuple[str, ...] = ()
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class CallTarget:
+    """Resolution result for one call expression.
+
+    ``kind`` is one of:
+
+    * ``"function"`` — a project function/method; ``qname`` addresses it;
+    * ``"constructor"`` — a project class; ``qname`` is the class (its
+      ``__init__``, when defined, is the callee body);
+    * ``"external"`` — resolved to an absolute dotted name outside the
+      analyzed tree (``hashlib.sha256``, ``time.time``);
+    * ``"unknown-method"`` — a method call whose receiver class is
+      unknown; ``qname`` is just the attribute name (``"append"``);
+    * ``"unknown"`` — nothing usable (call on a subscript, lambda, ...).
+    """
+
+    kind: str
+    qname: str
+
+    @property
+    def is_project(self) -> bool:
+        return self.kind in ("function", "constructor")
+
+
+def _function_params(node) -> Tuple[str, ...]:
+    args = node.args
+    names = [arg.arg for arg in args.posonlyargs + args.args]
+    if args.vararg:
+        names.append(args.vararg.arg)
+    names.extend(arg.arg for arg in args.kwonlyargs)
+    if args.kwarg:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def _decorator_names(node) -> Tuple[str, ...]:
+    names = []
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        dotted = dotted_name(target)
+        if dotted:
+            names.append(dotted)
+    return tuple(names)
+
+
+class CallGraph:
+    """Symbol table + call resolution over one :class:`Project`."""
+
+    def __init__(self, project: Project):
+        self.project = project
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        #: module name -> local symbol -> qualified name (functions and
+        #: classes defined at module top level, plus ``f = g`` aliases).
+        self.module_scope: Dict[str, Dict[str, str]] = {}
+        for module in project.modules:
+            self._index_module(module)
+        self._callers: Optional[Dict[str, Set[str]]] = None
+
+    # ------------------------------------------------------------- indexing
+
+    def _index_module(self, module: ModuleInfo) -> None:
+        scope: Dict[str, str] = {}
+        self.module_scope[module.name] = scope
+        for node in module.tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                info = self._index_function(module, node, class_qname=None)
+                scope[node.name] = info.qname
+            elif isinstance(node, ast.ClassDef):
+                info = self._index_class(module, node)
+                scope[node.name] = info.qname
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                # Module-level aliasing: ``run = _run_impl``.
+                target, value = node.targets[0], node.value
+                if (isinstance(target, ast.Name)
+                        and isinstance(value, ast.Name)
+                        and value.id in scope):
+                    scope[target.id] = scope[value.id]
+
+    def _index_function(self, module: ModuleInfo, node,
+                        class_qname: Optional[str]) -> FunctionInfo:
+        owner = class_qname if class_qname else module.name
+        info = FunctionInfo(
+            qname=f"{owner}.{node.name}", name=node.name, module=module,
+            node=node, class_qname=class_qname,
+            params=_function_params(node),
+            decorators=_decorator_names(node), line=node.lineno)
+        self.functions[info.qname] = info
+        return info
+
+    def _index_class(self, module: ModuleInfo,
+                     node: ast.ClassDef) -> ClassInfo:
+        qname = f"{module.name}.{node.name}"
+        bases = []
+        for base in node.bases:
+            dotted = dotted_name(base)
+            if dotted is None:
+                continue
+            bases.append(self._resolve_symbol(module, dotted) or dotted)
+        info = ClassInfo(qname=qname, name=node.name, module=module,
+                         node=node, bases=tuple(bases))
+        self.classes[qname] = info
+        for statement in node.body:
+            if isinstance(statement, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                method = self._index_function(module, statement,
+                                              class_qname=qname)
+                info.methods[statement.name] = method
+        return info
+
+    # ----------------------------------------------------------- resolution
+
+    def _resolve_symbol(self, module: ModuleInfo,
+                        dotted: str) -> Optional[str]:
+        """Absolute qualified name for a dotted reference in ``module``.
+
+        Tries, in order: module-local top-level symbols, import aliases
+        (``np.random.default_rng`` → ``numpy.random.default_rng``), and —
+        when the alias lands inside the project — the project symbol it
+        names (``from repro.sim.policy import PolicyContext`` →
+        ``repro.sim.policy.PolicyContext``).
+        """
+        head, _, rest = dotted.partition(".")
+        scope = self.module_scope.get(module.name, {})
+        if head in scope:
+            base = scope[head]
+            return f"{base}.{rest}" if rest else base
+        origin = module.aliases.get(head)
+        if origin is None:
+            return None
+        return f"{origin}.{rest}" if rest else origin
+
+    def lookup_method(self, class_qname: str,
+                      method: str) -> Optional[FunctionInfo]:
+        """Resolve ``method`` on a class, walking project-local bases."""
+        seen: Set[str] = set()
+        queue = [class_qname]
+        while queue:
+            current = queue.pop(0)
+            if current in seen:
+                continue
+            seen.add(current)
+            info = self.classes.get(current)
+            if info is None:
+                continue
+            if method in info.methods:
+                return info.methods[method]
+            queue.extend(info.bases)
+        return None
+
+    def class_of(self, qname: str) -> Optional[ClassInfo]:
+        return self.classes.get(qname)
+
+    def resolve_call(self, module: ModuleInfo, call: ast.Call,
+                     enclosing: Optional[FunctionInfo] = None,
+                     local_types: Optional[Mapping[str, str]] = None
+                     ) -> CallTarget:
+        """Best-effort resolution of ``call``'s target.
+
+        ``enclosing`` enables ``self.method()`` / ``super().method()``
+        dispatch; ``local_types`` (variable name → class qname) enables
+        ``obj.method()`` on variables the flow engine knows the class of.
+        """
+        func = call.func
+        # super().method()
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Call)
+                and isinstance(func.value.func, ast.Name)
+                and func.value.func.id == "super"
+                and enclosing is not None and enclosing.class_qname):
+            owner = self.classes.get(enclosing.class_qname)
+            if owner is not None:
+                for base in owner.bases:
+                    found = self.lookup_method(base, func.attr)
+                    if found is not None:
+                        return CallTarget("function", found.qname)
+            return CallTarget("unknown-method", func.attr)
+        dotted = dotted_name(func)
+        if dotted is None:
+            return CallTarget("unknown", "")
+        head, _, rest = dotted.partition(".")
+        # self.method() / cls.method()
+        if (enclosing is not None and enclosing.class_qname
+                and rest and "." not in rest
+                and head == enclosing.receiver_param):
+            found = self.lookup_method(enclosing.class_qname, rest)
+            if found is not None:
+                return CallTarget("function", found.qname)
+            return CallTarget("unknown-method", rest)
+        # obj.method() with a statically known receiver class
+        if (local_types and rest and "." not in rest
+                and head in local_types):
+            found = self.lookup_method(local_types[head], rest)
+            if found is not None:
+                return CallTarget("function", found.qname)
+            return CallTarget("unknown-method", rest)
+        resolved = self._resolve_symbol(module, dotted)
+        if resolved is None:
+            if isinstance(func, ast.Attribute):
+                return CallTarget("unknown-method", func.attr)
+            return CallTarget("unknown", dotted)
+        if resolved in self.functions:
+            return CallTarget("function", resolved)
+        if resolved in self.classes:
+            return CallTarget("constructor", resolved)
+        # ``from pkg import name`` gives pkg.name even when ``name`` is a
+        # symbol of pkg's __init__ re-export; try the tail as a project
+        # symbol before declaring it external.
+        base, _, tail = resolved.rpartition(".")
+        exporting = self.project.module(base)
+        if exporting is not None:
+            origin = exporting.aliases.get(tail)
+            if origin is not None:
+                if origin in self.functions:
+                    return CallTarget("function", origin)
+                if origin in self.classes:
+                    return CallTarget("constructor", origin)
+        if isinstance(func, ast.Attribute) and resolved.split(".")[0] in (
+                self.module_scope):
+            # A dotted chain rooted at a project symbol we could not pin
+            # down (e.g. an attribute on a project class object).
+            return CallTarget("unknown-method", func.attr)
+        return CallTarget("external", resolved)
+
+    def callee_body(self, target: CallTarget) -> Optional[FunctionInfo]:
+        """The function body a project target executes (a constructor's
+        ``__init__`` when defined)."""
+        if target.kind == "function":
+            return self.functions.get(target.qname)
+        if target.kind == "constructor":
+            return self.lookup_method(target.qname, "__init__")
+        return None
+
+    # ---------------------------------------------------------------- edges
+
+    def _annotation_class(self, module: ModuleInfo, annotation) -> Optional[str]:
+        """Project class qname named by a parameter annotation, if any.
+
+        Handles both plain names (``ctx: PolicyContext``) and string
+        annotations (``ctx: "PolicyContext"``).
+        """
+        if isinstance(annotation, ast.Constant) and isinstance(
+                annotation.value, str):
+            text = annotation.value.strip()
+            if not text.replace(".", "").replace("_", "").isalnum():
+                return None
+            try:
+                annotation = ast.parse(text, mode="eval").body
+            except SyntaxError:
+                return None
+        dotted = dotted_name(annotation)
+        if dotted is None:
+            return None
+        resolved = self._resolve_symbol(module, dotted) or dotted
+        return resolved if resolved in self.classes else None
+
+    def local_types_for(self, info: FunctionInfo) -> Dict[str, str]:
+        """Variable → class qname bindings from parameter annotations
+        (``ctx: PolicyContext``) and simple constructor assignments
+        (``ctx = PolicyContext(engine)``) in one function.
+
+        Conservative single-binding contract: a name rebound to anything
+        that is not the same constructor is dropped.
+        """
+        types: Dict[str, str] = {}
+        dropped: Set[str] = set()
+        arguments = info.node.args
+        for arg in (arguments.posonlyargs + arguments.args
+                    + arguments.kwonlyargs):
+            if arg.annotation is None:
+                continue
+            qname = self._annotation_class(info.module, arg.annotation)
+            if qname is not None:
+                types[arg.arg] = qname
+        for node in ast.walk(info.node):
+            if not (isinstance(node, ast.Assign) and len(node.targets) == 1):
+                continue
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            qname = None
+            if isinstance(node.value, ast.Call):
+                resolved = self.resolve_call(info.module, node.value,
+                                             enclosing=info)
+                if resolved.kind == "constructor":
+                    qname = resolved.qname
+            if qname is None:
+                dropped.add(target.id)
+            elif types.get(target.id, qname) != qname:
+                dropped.add(target.id)
+            else:
+                types[target.id] = qname
+        return {name: qname for name, qname in types.items()
+                if name not in dropped}
+
+    def iter_calls(self, info: FunctionInfo) -> Iterator[
+            Tuple[ast.Call, CallTarget]]:
+        """Every call expression in a function body with its resolution."""
+        local_types = self.local_types_for(info)
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Call):
+                yield node, self.resolve_call(info.module, node,
+                                              enclosing=info,
+                                              local_types=local_types)
+
+    def callers_of(self, qname: str) -> Set[str]:
+        """Qualified names of functions whose bodies may call ``qname``."""
+        if self._callers is None:
+            callers: Dict[str, Set[str]] = {}
+            for caller in self.functions.values():
+                for _node, target in self.iter_calls(caller):
+                    body = self.callee_body(target)
+                    if body is not None:
+                        callers.setdefault(body.qname, set()).add(
+                            caller.qname)
+            self._callers = callers
+        return self._callers.get(qname, set())
+
+    def functions_of_module(self, module_name: str) -> List[FunctionInfo]:
+        return [info for info in self.functions.values()
+                if info.module.name == module_name]
+
+
+def build_callgraph(project: Project) -> CallGraph:
+    return CallGraph(project)

@@ -70,6 +70,15 @@ def build_lint_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--list-rules", action="store_true",
         help="print the rule catalog and exit")
+    parser.add_argument(
+        "--explain", metavar="ID", default=None,
+        help="print one rule's full documentation (rationale and an "
+             "example source→sink trace) and exit")
+    parser.add_argument(
+        "--no-flow-cache", action="store_false", dest="flow_cache",
+        help="recompute interprocedural flow summaries instead of "
+             "reusing benchmarks/.cache/analysis/ (REPRO_LINT_CACHE=0 "
+             "does the same; a path value relocates the cache)")
     return parser
 
 
@@ -81,11 +90,30 @@ def _print_rule_catalog() -> None:
         print(f"{rule_id}  [{rule.severity}/{scope}]  {rule.summary}")
 
 
+def _print_rule_explain(rule_id: str) -> int:
+    registry = all_rules()
+    rule = registry.get(rule_id.upper())
+    if rule is None:
+        print(f"error: unknown rule id {rule_id!r}; known rules: "
+              f"{', '.join(sorted(registry))}", file=sys.stderr)
+        return 2
+    scope = "project" if rule.scope == "project" else "module"
+    print(f"{rule.id}  [{rule.severity}/{scope}]")
+    print(f"{rule.summary}")
+    body = getattr(rule, "explain", None) or (rule.__doc__ or "").strip()
+    if body:
+        print()
+        print(body.rstrip())
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_lint_parser().parse_args(argv)
     if args.list_rules:
         _print_rule_catalog()
         return 0
+    if args.explain:
+        return _print_rule_explain(args.explain)
 
     try:
         rules = select_rules(args.rules)
@@ -111,7 +139,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     result = analyze_paths(paths, root=cwd,
-                           rule_ids=[rule.id for rule in rules])
+                           rule_ids=[rule.id for rule in rules],
+                           flow_cache=args.flow_cache)
 
     if args.write_baseline:
         target = baseline_path or cwd / baseline_mod.DEFAULT_BASELINE_NAME
@@ -152,6 +181,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 "stale_baseline_entries": len(stale),
                 "modules": len(result.modules),
             },
+            "flow_cache": result.flow_stats,
             "strict": bool(args.strict),
         }, indent=2, sort_keys=True))
     else:
@@ -163,6 +193,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                    f"({len(baselined)} baselined, "
                    f"{len(result.suppressed)} noqa-suppressed) across "
                    f"{len(result.modules)} modules")
+        if result.flow_stats is not None:
+            summary += (f"; flow summaries: "
+                        f"{result.flow_stats['computed']} computed, "
+                        f"{result.flow_stats['cached']} cached")
         print(summary, file=sys.stderr)
         if stale:
             print(f"note: {len(stale)} baseline entr"

@@ -8,6 +8,7 @@ convenience the analyzer's own tests use.
 from __future__ import annotations
 
 import ast
+import os
 import pathlib
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence
@@ -28,6 +29,45 @@ PARSE_ERROR_RULE = "E999"
 
 _SKIP_DIR_NAMES = {"__pycache__"}
 _SKIP_DIR_SUFFIXES = (".egg-info",)
+
+#: Environment override for the flow-summary cache: ``0``/``off`` (or
+#: empty) disables it, any other value relocates the cache directory.
+ENV_FLOW_CACHE = "REPRO_LINT_CACHE"
+_CACHE_OFF_VALUES = {"", "0", "off", "no", "false"}
+
+
+def default_flow_cache_dir(
+        root: Optional[pathlib.Path]) -> Optional[pathlib.Path]:
+    """Where interprocedural summaries cache for a repo-checkout run:
+    ``benchmarks/.cache/analysis/`` next to the other derived artifacts
+    (the case cache, the experiment store), or nowhere when ``root``
+    does not look like a checkout."""
+    if root is None:
+        return None
+    root = pathlib.Path(root)
+    if (root / "benchmarks").is_dir():
+        return root / "benchmarks" / ".cache" / "analysis"
+    return None
+
+
+def resolve_flow_cache_dir(root: Optional[pathlib.Path] = None,
+                           explicit: Optional[pathlib.Path] = None,
+                           enabled: bool = True) -> Optional[pathlib.Path]:
+    """The flow-cache directory to use, or ``None`` for uncached runs.
+
+    Precedence: ``enabled=False`` wins, then an ``explicit`` directory,
+    then :data:`ENV_FLOW_CACHE`, then :func:`default_flow_cache_dir`.
+    """
+    if not enabled:
+        return None
+    if explicit is not None:
+        return pathlib.Path(explicit)
+    env = os.environ.get(ENV_FLOW_CACHE)
+    if env is not None:
+        if env.strip().lower() in _CACHE_OFF_VALUES:
+            return None
+        return pathlib.Path(env)
+    return default_flow_cache_dir(root)
 
 
 def iter_python_files(paths: Iterable[pathlib.Path]) -> List[pathlib.Path]:
@@ -69,6 +109,9 @@ class AnalysisResult:
     #: Findings silenced by an inline ``# repro: noqa`` comment.
     suppressed: List[Finding] = field(default_factory=list)
     modules: List[ModuleInfo] = field(default_factory=list)
+    #: ``{"modules", "computed", "cached"}`` from the interprocedural
+    #: flow engine, or ``None`` when no flow-backed rule ran.
+    flow_stats: Optional[Dict[str, int]] = None
 
     @property
     def errors(self) -> List[Finding]:
@@ -118,16 +161,28 @@ def select_rules(rule_ids: Optional[Sequence[str]] = None) -> List[Rule]:
 
 def analyze_paths(paths: Sequence[pathlib.Path],
                   root: Optional[pathlib.Path] = None,
-                  rule_ids: Optional[Sequence[str]] = None) -> AnalysisResult:
+                  rule_ids: Optional[Sequence[str]] = None,
+                  flow_cache: bool = True,
+                  flow_cache_dir: Optional[pathlib.Path] = None
+                  ) -> AnalysisResult:
     """Run the (selected) rule set over every python file under ``paths``.
 
     Findings on lines carrying a matching ``# repro: noqa[=RULE,...]``
     comment land in :attr:`AnalysisResult.suppressed` instead of
     :attr:`AnalysisResult.findings`.  Parse failures are reported as
     :data:`PARSE_ERROR_RULE` findings and are never suppressible.
+
+    Interprocedural rules (FLOW/FLOAT/EFFECT) share one engine run per
+    project; its per-module summaries persist under the directory
+    :func:`resolve_flow_cache_dir` picks (pass ``flow_cache=False`` or
+    set ``REPRO_LINT_CACHE=0`` for a cold run every time).
     """
     rules = select_rules(rule_ids)
     project, parse_findings = load_project(paths, root=root)
+    cache_dir = resolve_flow_cache_dir(root=root, explicit=flow_cache_dir,
+                                       enabled=flow_cache)
+    if cache_dir is not None:
+        project.flow_cache_dir = cache_dir
     raw: List[Finding] = []
     for rule in rules:
         if rule.scope == "project":
@@ -136,6 +191,9 @@ def analyze_paths(paths: Sequence[pathlib.Path],
             for module in project.modules:
                 raw.extend(rule.check_module(module))
     result = AnalysisResult(modules=project.modules)
+    flow = getattr(project, "_flow_analysis", None)
+    if flow is not None:
+        result.flow_stats = dict(flow.stats)
     result.findings.extend(parse_findings)
     for finding in raw:
         module = project.by_display.get(finding.path)

@@ -12,6 +12,15 @@ DET003    error      no iteration over sets (hash-randomised order)
 DET004    error      no ordering by ``id()``
 DET005    error      no filesystem-order directory listings without ``sorted``
 DET006    warning    ``.keys()`` iteration: sort when order can matter
+DET007    warning    no plain ``sum`` over parallel-worker results
+DET008    error      timestamps never feed identity (ORDER BY / hashed keys)
+FLOW001   error      no nondeterminism reaching identity sinks (interproc.)
+FLOW002   error      no nondeterministic sort keys (flow-evaluated)
+FLOW003   error      no nondeterminism recorded into telemetry
+FLOAT001  warning    no order-sensitive float accumulation over unordered input
+EFFECT001 error      telemetry export paths never mutate engine state
+EFFECT002 error      PolicyContext observation methods are side-effect-free
+EFFECT003 error      policy code actuates via the seam; batch sync-in is pure
 LAY001    error      declarative import contracts (policy/engine/harness edges)
 LAY002    error      no attribute assignment into a ``PolicyContext``
 LAY003    error      no underscore-private access on a ``PolicyContext``
@@ -21,7 +30,12 @@ SCHEMA001 error      telemetry dataclasses match the JSONL validation tables
 ========  =========  ==========================================================
 """
 
-from repro.analysis.rules import determinism, layering, saltcov, schema
+# Import order matters: the flow engine reuses determinism's source
+# tables and the EFFECT rules reuse layering's seam helpers, so those
+# two modules must initialise before flowrules/effects.
+from repro.analysis.rules import determinism, layering  # noqa: F401
+from repro.analysis.rules import effects, flowrules, saltcov, schema
+from repro.analysis.rules.effects import POLICY_CONTEXT_ACTUATORS
 from repro.analysis.rules.layering import (
     IMPORT_CONTRACTS,
     POLICY_SIDE_PACKAGES,
@@ -31,10 +45,13 @@ from repro.analysis.rules.layering import (
 
 __all__ = [
     "IMPORT_CONTRACTS",
+    "POLICY_CONTEXT_ACTUATORS",
     "POLICY_SIDE_PACKAGES",
     "ImportContract",
     "contracts_for",
     "determinism",
+    "effects",
+    "flowrules",
     "layering",
     "saltcov",
     "schema",

@@ -4,6 +4,8 @@ Subcommands::
 
     exp list              every registered experiment (id, status, progress)
     exp show <id>         grid summary and per-status case counts
+    exp show --diff A B   grid-level diff: machine/cycles/telemetry deltas,
+                          specs only in one grid, status drift on shared specs
     exp resume <id>       pull the remaining pending cases of an experiment
     exp gc                drop experiments stale under the current code salt
 
@@ -35,8 +37,16 @@ def build_parser() -> argparse.ArgumentParser:
                     "experiment store (REPRO_EXPDB)")
     commands = parser.add_subparsers(dest="command", required=True)
     commands.add_parser("list", help="list registered experiments")
-    show = commands.add_parser("show", help="describe one experiment")
+    show = commands.add_parser(
+        "show", help="describe one experiment, or diff two")
     show.add_argument("experiment_id")
+    show.add_argument("other", nargs="?", default=None,
+                      help="second experiment id (with --diff)")
+    show.add_argument("--diff", action="store_true",
+                      help="compare two experiments at the grid level: "
+                           "machine/cycles/telemetry differences, specs "
+                           "only in one grid, and per-case status drift "
+                           "on the shared specs")
     resume = commands.add_parser(
         "resume", help="run the remaining pending cases of an experiment")
     resume.add_argument("experiment_id")
@@ -112,6 +122,87 @@ def _show_command(db, experiment_id: str) -> int:
     return 0
 
 
+def _spec_label(payload: dict) -> str:
+    """One-line human label for a stored CaseSpec payload."""
+    parts = []
+    for name, qos, goal in zip(payload.get("names", ()),
+                               payload.get("qos", ()),
+                               payload.get("goals", ())):
+        mark = f"{name}*{goal}" if qos else name
+        parts.append(mark)
+    return f"{'+'.join(parts)} [{payload.get('policy', '?')}]"
+
+
+def _spec_key(payload: dict) -> str:
+    import json
+    return json.dumps(payload, sort_keys=True)
+
+
+def _diff_command(db, id_a: str, id_b: str) -> int:
+    """Grid-level diff of two experiments: everything that can make two
+    sweeps incomparable — machine, cycles, telemetry, the spec grids
+    themselves — plus per-case status drift on the specs they share."""
+    records = {}
+    for experiment_id in (id_a, id_b):
+        record = db.experiment(experiment_id)
+        if record is None:
+            print(f"unknown experiment {experiment_id!r}", file=sys.stderr)
+            return 2
+        records[experiment_id] = record
+    a, b = records[id_a], records[id_b]
+    print(f"A: {id_a}  (status {a['status']}, spec hash {a['spec_hash']})")
+    print(f"B: {id_b}  (status {b['status']}, spec hash {b['spec_hash']})")
+    if a["code_salt"] != b["code_salt"]:
+        print(f"code salt:  A={a['code_salt']}  B={b['code_salt']}  "
+              "(DIFFERENT toolchains — records are not comparable)")
+
+    grid_a, grid_b = a["grid"], b["grid"]
+    scalar_diffs = []
+    gpu_keys = sorted(set(grid_a["gpu"]) | set(grid_b["gpu"]))
+    for key in gpu_keys:
+        va, vb = grid_a["gpu"].get(key), grid_b["gpu"].get(key)
+        if va != vb:
+            scalar_diffs.append((f"gpu.{key}", va, vb))
+    for key in ("cycles", "warmup", "telemetry"):
+        if grid_a.get(key) != grid_b.get(key):
+            scalar_diffs.append((key, grid_a.get(key), grid_b.get(key)))
+    if scalar_diffs:
+        print("grid differences:")
+        for key, va, vb in scalar_diffs:
+            print(f"  {key:<18} A={va!r}  B={vb!r}")
+    else:
+        print("grid:       machine, cycles and telemetry identical")
+
+    specs_a = {_spec_key(payload): payload for payload in grid_a["specs"]}
+    specs_b = {_spec_key(payload): payload for payload in grid_b["specs"]}
+    only_a = [specs_a[key] for key in specs_a if key not in specs_b]
+    only_b = [specs_b[key] for key in specs_b if key not in specs_a]
+    shared = [key for key in specs_a if key in specs_b]
+    print(f"specs:      {len(shared)} shared, {len(only_a)} only in A, "
+          f"{len(only_b)} only in B")
+    for payload in only_a:
+        print(f"  only A:   {_spec_label(payload)}")
+    for payload in only_b:
+        print(f"  only B:   {_spec_label(payload)}")
+
+    if shared:
+        status_a = {_spec_key(case["spec"]): case["status"]
+                    for case in db.cases(id_a)}
+        status_b = {_spec_key(case["spec"]): case["status"]
+                    for case in db.cases(id_b)}
+        drifted = [key for key in shared
+                   if status_a.get(key) != status_b.get(key)]
+        if drifted:
+            print(f"status:     {len(drifted)} shared spec(s) differ")
+            for key in drifted:
+                print(f"  {_spec_label(specs_a[key])}: "
+                      f"A={status_a.get(key, '?')}  "
+                      f"B={status_b.get(key, '?')}")
+        else:
+            print("status:     every shared spec has the same case status")
+    return 0
+
+
 def _resume_command(db, experiment_id: str, workers: Optional[int],
                     no_cache: bool) -> int:
     from repro.config import gpu_config_from_dict
@@ -162,6 +253,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.command == "list":
             return _list_command(db)
         if args.command == "show":
+            if args.diff:
+                if args.other is None:
+                    print("error: show --diff needs two experiment ids",
+                          file=sys.stderr)
+                    return 2
+                return _diff_command(db, args.experiment_id, args.other)
+            if args.other is not None:
+                print("error: a second experiment id needs --diff",
+                      file=sys.stderr)
+                return 2
             return _show_command(db, args.experiment_id)
         if args.command == "resume":
             return _resume_command(db, args.experiment_id, args.workers,

@@ -130,8 +130,56 @@ class TestOutputFormats:
     def test_list_rules(self, capsys):
         assert lint_main(["--list-rules"]) == 0
         out = capsys.readouterr().out
-        for rule_id in ("DET001", "LAY001", "SALT001", "SCHEMA001"):
+        for rule_id in ("DET001", "FLOW001", "FLOAT001", "EFFECT001",
+                        "LAY001", "SALT001", "SCHEMA001"):
             assert rule_id in out
+
+    def test_summary_reports_flow_cache_split(self, tmp_path, capsys):
+        target = project(tmp_path, CLEAN)
+        assert lint_main([str(target)]) == 0
+        err = capsys.readouterr().err
+        assert "flow summaries: 1 computed, 0 cached" in err
+
+
+class TestExplain:
+    def test_explain_prints_doc_and_example_trace(self, capsys):
+        assert lint_main(["--explain", "FLOW001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("FLOW001  [error/project]")
+        # The long-form doc ships an example source→sink trace.
+        assert "wall-clock read time.time()" in out
+        assert "identity sink" in out
+
+    def test_explain_is_case_insensitive(self, capsys):
+        assert lint_main(["--explain", "effect002"]) == 0
+        out = capsys.readouterr().out
+        assert "POLICY_CONTEXT_ACTUATORS" in out
+
+    def test_explain_falls_back_to_summary_for_syntactic_rules(self, capsys):
+        assert lint_main(["--explain", "DET001"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("DET001  [error/module]")
+
+    def test_explain_unknown_rule_exits_two(self, capsys):
+        assert lint_main(["--explain", "NOPE999"]) == 2
+        err = capsys.readouterr().err
+        assert "NOPE999" in err and "known rules" in err
+
+    def test_every_rule_is_explainable(self, capsys):
+        from repro.analysis.core import all_rules
+        for rule_id in sorted(all_rules()):
+            assert lint_main(["--explain", rule_id]) == 0
+            assert rule_id in capsys.readouterr().out
+
+
+class TestDocsCatalogSync:
+    def test_docs_catalog_matches_the_registry(self):
+        from repro.analysis.core import all_rules
+        import re
+        table = (REPO / "docs" / "static_analysis.md").read_text()
+        documented = set(re.findall(r"^\| `([A-Z]+[0-9]+)` \|", table,
+                                    flags=re.MULTILINE))
+        assert documented == set(all_rules())
 
 
 class TestReproCliDispatch:
@@ -144,7 +192,10 @@ class TestReproCliDispatch:
 
 class TestSelfCheck:
     def test_strict_lint_is_clean_on_the_shipped_tree(self, capsys):
-        paths = [str(REPO / "src"), str(REPO / "examples")]
+        # tests/ and benchmarks/ are linted too (as in CI) — the flow
+        # rules must hold everywhere results or fixtures are produced.
+        paths = [str(REPO / "src"), str(REPO / "examples"),
+                 str(REPO / "tests"), str(REPO / "benchmarks")]
         code = repro_main(["lint", "--strict", "--baseline",
                            str(REPO / ".repro-lint-baseline.json"), *paths])
         output = capsys.readouterr()

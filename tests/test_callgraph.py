@@ -1,0 +1,232 @@
+"""Symbol table + call graph resolution (`repro.analysis.callgraph`).
+
+Resolution must survive the spellings real code uses: import aliases,
+module-level ``f = g`` aliasing, ``self``/``super()`` dispatch through
+project-local bases, constructor calls, decorated defs, and receiver
+types learned from parameter annotations or constructor assignments.
+"""
+
+import ast
+import pathlib
+import textwrap
+
+from repro.analysis.callgraph import build_callgraph
+from repro.analysis.core import ModuleInfo, Project
+
+
+def make_project(**modules):
+    """A Project from ``name=source`` pairs (dotted names allowed via
+    double underscores: ``repro__sim__policy`` → ``repro.sim.policy``)."""
+    infos = []
+    for name, source in modules.items():
+        dotted = name.replace("__", ".")
+        source = textwrap.dedent(source)
+        display = dotted.replace(".", "/") + ".py"
+        infos.append(ModuleInfo(
+            path=pathlib.Path(display), display=display, source=source,
+            tree=ast.parse(source), name=dotted))
+    return Project(infos)
+
+
+def calls_in(graph, qname):
+    return list(graph.iter_calls(graph.functions[qname]))
+
+
+class TestSymbolTable:
+    def test_functions_classes_and_methods_are_indexed(self):
+        graph = build_callgraph(make_project(mod="""
+            def run():
+                pass
+
+            class Engine:
+                def step(self):
+                    pass
+
+                @staticmethod
+                def version():
+                    pass
+            """))
+        assert "mod.run" in graph.functions
+        assert "mod.Engine" in graph.classes
+        step = graph.functions["mod.Engine.step"]
+        assert step.is_method and step.binds_instance
+        assert step.receiver_param == "self"
+        version = graph.functions["mod.Engine.version"]
+        assert not version.binds_instance and version.receiver_param is None
+
+    def test_decorated_defs_keep_their_qname(self):
+        graph = build_callgraph(make_project(mod="""
+            import functools
+
+            def wrap(fn):
+                return fn
+
+            @wrap
+            @functools.lru_cache(maxsize=None)
+            def cached():
+                pass
+            """))
+        info = graph.functions["mod.cached"]
+        assert info.decorators == ("wrap", "functools.lru_cache")
+
+
+class TestResolution:
+    def test_import_alias_resolves_to_project_function(self):
+        graph = build_callgraph(make_project(
+            helpers="""
+                def stamp():
+                    return 1
+                """,
+            caller="""
+                from helpers import stamp as s
+
+                def use():
+                    return s()
+                """))
+        ((_, target),) = calls_in(graph, "caller.use")
+        assert target.kind == "function"
+        assert target.qname == "helpers.stamp"
+
+    def test_module_level_function_alias(self):
+        graph = build_callgraph(make_project(mod="""
+            def _impl():
+                return 1
+
+            run = _impl
+
+            def use():
+                return run()
+            """))
+        ((_, target),) = calls_in(graph, "mod.use")
+        assert (target.kind, target.qname) == ("function", "mod._impl")
+
+    def test_self_dispatch_walks_project_bases(self):
+        graph = build_callgraph(make_project(mod="""
+            class Base:
+                def shared(self):
+                    return 0
+
+            class Child(Base):
+                def use(self):
+                    return self.shared()
+            """))
+        ((_, target),) = calls_in(graph, "mod.Child.use")
+        assert (target.kind, target.qname) == ("function", "mod.Base.shared")
+
+    def test_super_dispatch(self):
+        graph = build_callgraph(make_project(mod="""
+            class Base:
+                def setup(self):
+                    return 0
+
+            class Child(Base):
+                def setup(self):
+                    return super().setup()
+            """))
+        calls = calls_in(graph, "mod.Child.setup")
+        targets = {(t.kind, t.qname) for _, t in calls}
+        assert ("function", "mod.Base.setup") in targets
+
+    def test_constructor_call_and_callee_body(self):
+        graph = build_callgraph(make_project(mod="""
+            class Engine:
+                def __init__(self, n):
+                    self.n = n
+
+            def build():
+                return Engine(4)
+            """))
+        ((_, target),) = calls_in(graph, "mod.build")
+        assert (target.kind, target.qname) == ("constructor", "mod.Engine")
+        body = graph.callee_body(target)
+        assert body is not None and body.qname == "mod.Engine.__init__"
+
+    def test_external_and_unknown_targets(self):
+        graph = build_callgraph(make_project(mod="""
+            import time
+
+            def use(obj):
+                time.time()
+                obj.poke()
+            """))
+        targets = [t for _, t in calls_in(graph, "mod.use")]
+        assert ("external", "time.time") in [(t.kind, t.qname)
+                                             for t in targets]
+        assert ("unknown-method", "poke") in [(t.kind, t.qname)
+                                              for t in targets]
+
+
+class TestLocalTypes:
+    def test_parameter_annotation_binds_receiver_class(self):
+        graph = build_callgraph(make_project(
+            repro__sim__policy="""
+                class PolicyContext:
+                    def set_quota(self, kernel, value):
+                        pass
+                """,
+            repro__qos__policy="""
+                from repro.sim.policy import PolicyContext
+
+                def decide(ctx: PolicyContext):
+                    ctx.set_quota("k", 1)
+
+                def decide_str(ctx: "PolicyContext"):
+                    ctx.set_quota("k", 2)
+                """))
+        for qname in ("repro.qos.policy.decide", "repro.qos.policy.decide_str"):
+            ((_, target),) = calls_in(graph, qname)
+            assert (target.kind, target.qname) == (
+                "function", "repro.sim.policy.PolicyContext.set_quota"), qname
+
+    def test_constructor_assignment_binds_and_rebinding_drops(self):
+        graph = build_callgraph(make_project(mod="""
+            class A:
+                def go(self):
+                    pass
+
+            def single():
+                obj = A()
+                obj.go()
+
+            def rebound(mystery):
+                obj = A()
+                obj = mystery()
+                obj.go()
+            """))
+        single_targets = {(t.kind, t.qname)
+                          for _, t in calls_in(graph, "mod.single")}
+        assert single_targets == {("constructor", "mod.A"),
+                                  ("function", "mod.A.go")}
+        rebound_targets = {(t.kind, t.qname)
+                           for _, t in calls_in(graph, "mod.rebound")}
+        assert ("function", "mod.A.go") not in rebound_targets
+        assert ("unknown-method", "go") in rebound_targets
+
+
+class TestEdges:
+    def test_callers_of_reverse_edges(self):
+        graph = build_callgraph(make_project(
+            helpers="""
+                def leaf():
+                    return 1
+                """,
+            caller="""
+                import helpers
+
+                def one():
+                    return helpers.leaf()
+
+                def two():
+                    return helpers.leaf() + one()
+                """))
+        assert graph.callers_of("helpers.leaf") == {"caller.one",
+                                                    "caller.two"}
+        assert graph.callers_of("caller.one") == {"caller.two"}
+        assert graph.callers_of("caller.two") == set()
+
+    def test_functions_of_module(self):
+        graph = build_callgraph(make_project(
+            a="def f():\n    pass\n",
+            b="def g():\n    pass\n"))
+        assert [info.qname for info in graph.functions_of_module("a")] == [
+            "a.f"]

@@ -335,3 +335,58 @@ class TestExpCli:
         self.interrupted_id(store_env)
         assert main(["exp", "list"]) == 0
         assert "exp-" in capsys.readouterr().out
+
+
+class TestExpDiff:
+    @pytest.fixture
+    def store_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_EXPDB", str(tmp_path / "exp.sqlite"))
+        monkeypatch.setenv("REPRO_CACHE", str(tmp_path / "cache"))
+        return tmp_path
+
+    def sweep_id(self, tmp_path, specs, cycles, fault_after=None):
+        db = ExperimentDB(tmp_path / "exp.sqlite")
+        runner = CaseRunner(FAST_GPU, cycles,
+                            cache=CaseCache(tmp_path / "cache"), expdb=db)
+        if fault_after is not None:
+            runner.fault_after = fault_after
+            with pytest.raises(SweepInterrupted):
+                runner.sweep(specs)
+        else:
+            runner.sweep(specs)
+        return runner.experiment_log[0][0]
+
+    def test_diff_reports_grid_and_spec_deltas(self, store_env, capsys):
+        from repro.harness.expcli import main
+        id_a = self.sweep_id(store_env, SPECS[:3], CYCLES)
+        id_b = self.sweep_id(store_env, SPECS[1:], CYCLES * 2)
+        assert main(["show", "--diff", id_a, id_b]) == 0
+        out = capsys.readouterr().out
+        assert "cycles" in out and str(CYCLES) in out and str(CYCLES * 2) in out
+        assert "2 shared, 1 only in A, 1 only in B" in out
+        # The unshared specs are named, QoS kernels starred with their goal.
+        assert "only A:   sgemm*0.5+lbm [rollover]" in out
+        assert "only B:   sgemm*0.5+lbm+mri-q [rollover]" in out
+
+    def test_diff_reports_status_drift_on_shared_specs(self, store_env,
+                                                       capsys):
+        from repro.harness.expcli import main
+        id_a = self.sweep_id(store_env, SPECS, CYCLES)
+        id_b = self.sweep_id(store_env, SPECS, CYCLES * 2, fault_after=2)
+        assert id_a != id_b  # cycles are part of the grid identity
+        assert main(["show", "--diff", id_a, id_b]) == 0
+        out = capsys.readouterr().out
+        assert "machine, cycles and telemetry identical" not in out
+        assert "4 shared, 0 only in A, 0 only in B" in out
+        assert "2 shared spec(s) differ" in out
+        assert "A=done" in out and "B=pending" in out
+
+    def test_diff_usage_errors(self, store_env, capsys):
+        from repro.harness.expcli import main
+        id_a = self.sweep_id(store_env, SPECS[:1], CYCLES)
+        assert main(["show", "--diff", id_a]) == 2
+        assert "two experiment ids" in capsys.readouterr().err
+        assert main(["show", id_a, "exp-other"]) == 2
+        assert "--diff" in capsys.readouterr().err
+        assert main(["show", "--diff", id_a, "exp-missing"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err

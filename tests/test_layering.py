@@ -89,7 +89,7 @@ class TestAnalyzerSeesTheTree:
     def test_policy_packages_are_analyzed(self, analysis):
         # If the analyzer's file discovery broke, every layering test above
         # would pass vacuously; require the policy packages to be present.
-        names = {module.name for module in analysis.modules}
+        names = sorted({module.name for module in analysis.modules})
         for package in POLICY_SIDE_PACKAGES:
             assert any(name == package or name.startswith(package + ".")
                        for name in names), (
