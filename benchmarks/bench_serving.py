@@ -1,0 +1,255 @@
+"""Online-serving benchmark: latency percentiles and SLO attainment vs load.
+
+Runs a seeded Poisson request stream against the fast-preset machine at
+three offered-load points (mean interarrival 8000/4000/2000 cycles) through
+the serving harness (:mod:`repro.serve.runner`), then reports:
+
+1. **Load table** — per-class p50/p95/p99 end-to-end latency and SLO
+   attainment at each load point, plus the dispatcher's admission
+   counters.  Latency-class p99 growing with load while completions
+   saturate is the open-loop queueing signature the serving layer exists
+   to measure.
+2. **Latency CDF** — nearest-rank percentile samples per class at the
+   heaviest load (the repo's figures are ASCII tables, same as the
+   paper-figure benches).
+3. **Sweep wall-clock** — cold serial, cold parallel and warm-cache
+   reruns of the same three-case sweep, asserting byte-identical
+   outcomes across all three (the serving determinism contract measured,
+   not just unit-tested).
+
+Run standalone — it is a script, not a pytest benchmark::
+
+    PYTHONPATH=src python benchmarks/bench_serving.py
+
+``--quick`` shrinks the horizon and skips the executor comparison and
+never writes results; CI uses it as a smoke test.  The report is printed
+and written to ``benchmarks/results/bench_serving.txt``; the load table
+and CDF are additionally written as machine-readable JSON to
+``benchmarks/results/BENCH_serving.json`` (or wherever ``--json``
+points, which works in ``--quick`` mode too).  Both carry the experiment
+identity and code salt, so regenerating an unchanged figure reproduces
+the provenance footer byte for byte.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import tempfile
+import time
+
+from repro.config import FAST_GPU
+from repro.harness.cache import (CaseCache, code_salt, experiment_id_for,
+                                 experiment_spec_hash, serve_grid_payload)
+from repro.harness.parallel import resolve_workers
+from repro.harness.report import format_table, provenance_footer
+from repro.serve.metrics import class_summary, latency_cdf
+from repro.serve.runner import ServeRunner, ServeSpec
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "results" / "bench_serving.txt"
+JSON_PATH = pathlib.Path(__file__).parent / "results" / "BENCH_serving.json"
+
+#: Mean interarrival cycles, heaviest last (offered load rises left->right
+#: in the tables).
+LOADS = (8000, 4000, 2000)
+
+#: (name, kernel, slo_cycles, grid_tbs, weight) — the CLI's default mix: a
+#: latency class on a short compute kernel with a tight SLO and a batch
+#: class on a long memory-bound kernel with a loose one.
+CLASSES = (("latency", "mri-q", 24_000, 4, 1.0),
+           ("batch", "lbm", 96_000, 4, 1.0))
+
+HORIZON_CYCLES = 96_000
+QUICK_HORIZON = 36_000
+
+CDF_POINTS = (0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.00)
+
+
+def serve_specs(horizon: int) -> list:
+    return [ServeSpec(process="poisson",
+                      params=(("mean_interarrival_cycles", float(load)),),
+                      classes=CLASSES, seed=0, horizon_cycles=horizon)
+            for load in LOADS]
+
+
+def experiment_identity(horizon: int) -> dict:
+    """Content-derived experiment-store identity of the load sweep."""
+    grid = serve_grid_payload(
+        FAST_GPU, [spec.payload() for spec in serve_specs(horizon)])
+    spec_hash = experiment_spec_hash(grid)
+    return {"id": experiment_id_for(spec_hash), "spec_hash": spec_hash}
+
+
+def run_sweep(horizon: int) -> list:
+    """``[(load, outcome, summary), ...]`` heaviest load last."""
+    outcomes = ServeRunner(FAST_GPU, workers=1).sweep(serve_specs(horizon))
+    return [(load, outcome, class_summary(outcome.records))
+            for load, outcome in zip(LOADS, outcomes)]
+
+
+def load_table(rows) -> str:
+    table_rows = []
+    for load, outcome, summary in rows:
+        lat = summary.get("latency", {})
+        bat = summary.get("batch", {})
+        table_rows.append((
+            f"1/{load}", outcome.generated, outcome.completed,
+            lat.get("p50_latency"), lat.get("p95_latency"),
+            lat.get("p99_latency"),
+            lat.get("slo_attainment"),
+            bat.get("p99_latency"), bat.get("slo_attainment"),
+        ))
+    return format_table(
+        "serving load sweep (Poisson arrivals, fast machine)",
+        "load (req/cyc)",
+        ("generated", "done", "lat p50", "lat p95", "lat p99", "lat SLO",
+         "bat p99", "bat SLO"),
+        table_rows,
+        notes=("latency class: mri-q, SLO 24000 cycles; batch class: lbm, "
+               "SLO 96000 cycles.\nSLO columns are attainment over all "
+               "generated requests (rejections and\nhorizon-unfinished "
+               "requests count as misses)."))
+
+
+def cdf_table(rows) -> str:
+    load, outcome, _summary = rows[-1]
+    cdf = latency_cdf(outcome.records, CDF_POINTS)
+    columns = tuple(f"p{int(round(p * 100)):02d}" for p in CDF_POINTS)
+    table_rows = [(name,) + tuple(samples[col] for col in columns)
+                  for name, samples in cdf]
+    return format_table(
+        f"latency CDF at heaviest load (mean interarrival {load} cycles)",
+        "class", columns, table_rows,
+        notes="nearest-rank percentiles of end-to-end latency in cycles.")
+
+
+def executor_timings(horizon: int, workers: int) -> list:
+    """Cold serial vs cold parallel vs warm-cache rerun, identity-checked."""
+    specs = serve_specs(horizon)
+
+    def dump(outcomes):
+        return json.dumps([o.to_value() for o in outcomes], sort_keys=True)
+
+    started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
+    serial = ServeRunner(FAST_GPU, workers=1).sweep(specs)
+    serial_s = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
+    rows = [("serial ServeRunner", serial_s, 1.0)]
+
+    with tempfile.TemporaryDirectory() as tmp:
+        started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
+        parallel = ServeRunner(FAST_GPU, workers=workers,
+                               cache=CaseCache(pathlib.Path(tmp))).sweep(specs)
+        parallel_s = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
+        rows.append((f"parallel x{workers}", parallel_s,
+                     serial_s / parallel_s))
+
+        started = time.perf_counter()  # repro: noqa=DET001 -- benchmark wall-time
+        warm = ServeRunner(FAST_GPU, workers=workers,
+                           cache=CaseCache(pathlib.Path(tmp))).sweep(specs)
+        warm_s = time.perf_counter() - started  # repro: noqa=DET001 -- benchmark wall-time
+        rows.append(("warm cache rerun", warm_s, serial_s / warm_s))
+
+    assert dump(parallel) == dump(serial), "parallel serving sweep diverged"
+    assert dump(warm) == dump(serial), "cached serving sweep diverged"
+    return rows
+
+
+def format_report(rows, executor_rows, horizon: int, workers: int) -> str:
+    identity = experiment_identity(horizon)
+    lines = ["online-serving benchmark", "=" * 24,
+             f"python {platform.python_version()}  horizon {horizon} "
+             f"cycles  seed 0  workers {workers}", ""]
+    lines.append(load_table(rows))
+    lines.append("")
+    lines.append(cdf_table(rows))
+    if executor_rows is not None:
+        lines.append("")
+        lines.append("sweep executors (3 cases, identity-checked)")
+        lines.append(f"{'executor':<28}{'seconds':>9}{'vs serial':>13}")
+        for label, elapsed, speedup in executor_rows:
+            lines.append(f"{label:<28}{elapsed:>9.3f}{speedup:>12.1f}x")
+    lines.append("")
+    lines.append(provenance_footer(
+        code_salt(), [(identity["id"], identity["spec_hash"])]))
+    return "\n".join(lines) + "\n"
+
+
+def json_report(rows, horizon: int) -> dict:
+    """The machine-readable load sweep (diffable across PRs)."""
+    load, outcome, _summary = rows[-1]
+    return {
+        "bench": "serving",
+        "gpu": "fast",
+        "horizon_cycles": horizon,
+        "seed": 0,
+        "classes": [list(entry) for entry in CLASSES],
+        "loads": [
+            {"mean_interarrival_cycles": case_load,
+             "generated": case.generated, "admitted": case.admitted,
+             "rejected": case.rejected, "completed": case.completed,
+             "unfinished": case.unfinished,
+             "classes": summary}
+            for case_load, case, summary in rows
+        ],
+        "cdf_heaviest_load": {
+            "mean_interarrival_cycles": load,
+            "classes": dict(latency_cdf(outcome.records, CDF_POINTS)),
+        },
+        "experiment": experiment_identity(horizon),
+        "code_salt": code_salt(),
+        "python": platform.python_version(),
+    }
+
+
+def _write_json(payload: dict, path: pathlib.Path) -> None:
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    print(f"[json written to {path}]")
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--horizon", type=int, default=HORIZON_CYCLES,
+                        help=f"cycles per load point (default: "
+                             f"{HORIZON_CYCLES})")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="pool width for the executor comparison "
+                             "(default: REPRO_WORKERS or cpu_count-1)")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced horizon, no executor comparison; "
+                             "implies --no-save (CI smoke mode)")
+    parser.add_argument("--no-save", action="store_true",
+                        help="print only; do not update benchmarks/results/")
+    parser.add_argument("--json", default=None, metavar="PATH",
+                        help="also write the load-sweep JSON here (works "
+                             "with --quick; default in full save mode: "
+                             f"{JSON_PATH})")
+    args = parser.parse_args()
+
+    workers = resolve_workers(args.workers)
+    if args.quick:
+        horizon = min(args.horizon, QUICK_HORIZON)
+        rows = run_sweep(horizon)
+        print(format_report(rows, None, horizon, workers), end="")
+        if args.json:
+            _write_json(json_report(rows, horizon), pathlib.Path(args.json))
+        return 0
+
+    rows = run_sweep(args.horizon)
+    report = format_report(rows, executor_timings(args.horizon, workers),
+                           args.horizon, workers)
+    print(report, end="")
+    if not args.no_save:
+        RESULTS_PATH.parent.mkdir(exist_ok=True)
+        RESULTS_PATH.write_text(report)
+        print(f"[written to {RESULTS_PATH}]")
+    if args.json or not args.no_save:
+        _write_json(json_report(rows, args.horizon), pathlib.Path(args.json)
+                    if args.json else JSON_PATH)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,62 +1,77 @@
 #!/usr/bin/env python3
 """A shared GPU server: three tenants, two SLOs, one GPU.
 
-Uses the OS-level dispatcher (``repro.osched``) over the QoS-managed GPU:
-an interactive inference service and a video pipeline each have periodic
-deadlines; an analytics batch job is best-effort.  The server translates
-each deadline into an IPC goal (Section 3.2), co-schedules everything under
-Rollover, and reports per-tenant deadline attainment — the datacenter
-scenario the paper's introduction motivates.
+Three tenants share one simulated GPU through the online serving layer
+(:mod:`repro.serve`): an interactive inference service and a video pipeline
+submit a job every period and must finish each job before the next one
+lands; an analytics batch job is best-effort.  Periodic deadlines map onto
+serving concepts directly — the period becomes a
+:class:`~repro.serve.arrivals.PeriodicArrivals` stream and the deadline an
+SLO in cycles — and per-tenant deadline attainment falls out of the
+request records.
+
+Migration note: earlier revisions of this example drove the OS-level
+dispatcher (``repro.osched.GPUServer``), which translates each deadline
+into an IPC goal and co-schedules *infinite* kernel streams under
+Rollover.  The serving layer supersedes that model for request-shaped
+work: each job is a finite grid launched mid-simulation
+(``GPUSimulator.launch_at``) and retired when it drains, so "did the job
+make its deadline" is measured directly instead of being inferred from a
+sustained IPC.  ``repro.osched`` remains the right tool when tenants are
+continuous kernels with throughput contracts rather than discrete jobs;
+its demand predictor also powers the serving layer's SLO-feasibility
+admission policy.
 
 Run:  python examples/gpu_server.py
 """
 
-from repro import FAST_GPU, get_kernel
-from repro.osched import Application, GPUServer
-from repro.qos import TransferModel
+from repro import FAST_GPU
+from repro.serve import Dispatcher, PeriodicArrivals, RequestClass
 
-# Simulated wall-clock window.  At 1216 MHz this is ~40K cycles — seconds of
-# pure-Python simulation; a real study would run much longer windows.
-WINDOW_S = 33e-6
-PERIOD_S = WINDOW_S / 8
-
-
-def cycles(seconds: float) -> float:
-    return seconds * FAST_GPU.core_freq_mhz * 1e6
+# One job per tenant per period; at the fast machine's scale this keeps the
+# whole window seconds of pure-Python simulation.  A real study would run
+# much longer windows.
+PERIOD_CYCLES = 12_000
+WINDOW_CYCLES = 8 * PERIOD_CYCLES
 
 
 def main() -> None:
-    server = GPUServer(FAST_GPU, transfers=TransferModel.unified(),
-                       scheme="rollover")
+    # Tenant 1: interactive inference — each job must complete within its
+    # period.  Tenant 2: video analytics on a streaming kernel; the
+    # pipeline buffers one frame, so a job may take up to two periods.
+    # Tenant 3: best-effort batch analytics; its "SLO" is the whole
+    # window, so attainment measures completion.
+    tenants = (
+        RequestClass(name="inference", kernel="mri-q",
+                     slo_cycles=PERIOD_CYCLES, grid_tbs=4),
+        RequestClass(name="video", kernel="stencil",
+                     slo_cycles=2 * PERIOD_CYCLES, grid_tbs=1),
+        RequestClass(name="analytics", kernel="sgemm",
+                     slo_cycles=WINDOW_CYCLES, grid_tbs=2),
+    )
+    arrivals = PeriodicArrivals(tenants, PERIOD_CYCLES)
 
-    # Tenant 1: interactive inference; each job needs ~35% of mri-q's
-    # isolated rate (~500 IPC on the fast machine) sustained per period.
-    server.submit(Application(
-        name="inference", kernel="mri-q", period_s=PERIOD_S,
-        instructions_per_job=int(0.35 * 500 * cycles(PERIOD_S))))
-    # Tenant 2: video analytics on a streaming kernel, ~30% of its ~23 IPC.
-    server.submit(Application(
-        name="video", kernel="stencil", period_s=PERIOD_S,
-        instructions_per_job=int(0.30 * 23 * cycles(PERIOD_S))))
-    # Tenant 3: best-effort batch analytics.
-    server.submit(Application(
-        name="analytics", kernel="sgemm", period_s=PERIOD_S,
-        instructions_per_job=10_000, qos=False))
+    # Deadline tenants get priority over best-effort work; the dispatcher
+    # serves lower priority values first.
+    dispatcher = Dispatcher(FAST_GPU, class_priority={"inference": 0,
+                                                      "video": 0,
+                                                      "analytics": 1})
+    result = dispatcher.serve(arrivals.generate(WINDOW_CYCLES),
+                              WINDOW_CYCLES)
 
-    report = server.run(WINDOW_S)
-
-    print(f"simulated {report.simulated_seconds * 1e6:.1f} us "
-          f"({cycles(report.simulated_seconds):.0f} cycles) on "
-          f"{FAST_GPU.num_sms} SMs\n")
-    header = (f"{'tenant':<12}{'QoS':>5}{'IPC goal':>10}{'achieved':>10}"
-              f"{'jobs':>6}{'dropped':>9}{'drop rate':>11}")
+    print(f"served {result.generated} jobs over {result.horizon_cycles} "
+          f"cycles on {FAST_GPU.num_sms} SMs "
+          f"({result.completed} completed, {result.unfinished} still "
+          f"queued or running at the horizon)\n")
+    header = (f"{'tenant':<12}{'jobs':>6}{'done':>6}{'p50 lat':>9}"
+              f"{'p99 lat':>9}{'deadline met':>14}")
     print(header)
     print("-" * len(header))
-    for app in report.applications:
-        goal = f"{app.ipc_goal:.1f}" if app.ipc_goal else "-"
-        print(f"{app.name:<12}{'yes' if app.qos else 'no':>5}{goal:>10}"
-              f"{app.achieved_ipc:>10.1f}{app.jobs_due:>6}"
-              f"{app.jobs_dropped:>9}{app.drop_rate:>11.1%}")
+    for name, row in result.summary().items():
+        p50 = row["p50_latency"] if row["p50_latency"] is not None else "-"
+        p99 = row["p99_latency"] if row["p99_latency"] is not None else "-"
+        print(f"{name:<12}{row['requests']:>6}{row['completed']:>6}"
+              f"{p50:>9}{p99:>9}{row['slo_attainment']:>14.1%}")
 
 
 if __name__ == "__main__":

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Walkthrough: online serving on the simulated GPU, end to end.
+
+The paper's evaluation shares the GPU between kernels pinned at cycle 0;
+this example runs the datacenter counterpart — an *open-loop* request
+stream against one machine — and shows each stage of the serving stack
+(:mod:`repro.serve`):
+
+1. **Arrivals**: a seeded Poisson process over two service classes.  The
+   stream is a plain tuple of requests — same seed, same stream, on every
+   machine and engine core.
+2. **Dispatch**: per-class FIFO queues in front of the simulator.  Each
+   admitted request becomes a finite-grid kernel launched mid-simulation;
+   when its last thread block drains, the engine retires it and the freed
+   slot is refilled from the queues.
+3. **Admission control**: the same stream replayed under no shedding, a
+   queue cap, and SLO-feasibility admission (which learns service times
+   online and rejects requests that would blow their SLO anyway).
+4. **Metrics**: per-request records reduced to per-class latency
+   percentiles and SLO attainment, then round-tripped through the JSONL
+   trace format the ``repro serve`` CLI emits.
+
+Run:  python examples/online_serving.py
+"""
+
+import io
+
+from repro import FAST_GPU
+from repro.serve import (Dispatcher, PoissonArrivals, QueueCap, RequestClass,
+                         SLOFeasibility, read_request_trace,
+                         write_request_trace)
+
+HORIZON_CYCLES = 96_000
+
+
+def main() -> None:
+    # --- 1. a seeded arrival stream over two service classes ------------
+    classes = (
+        RequestClass(name="interactive", kernel="mri-q",
+                     slo_cycles=20_000, grid_tbs=4),
+        RequestClass(name="batch", kernel="lbm",
+                     slo_cycles=80_000, grid_tbs=4, weight=0.5),
+    )
+    arrivals = PoissonArrivals(classes, mean_interarrival_cycles=4_000,
+                               seed=11)
+    requests = arrivals.generate(HORIZON_CYCLES)
+    print(f"generated {len(requests)} requests over {HORIZON_CYCLES} "
+          f"cycles (seed {arrivals.seed}; rerunning reproduces them "
+          f"byte for byte)\n")
+
+    # --- 2 + 3. the same stream under three admission policies ----------
+    policies = (("always admit", None),
+                ("queue cap 2", QueueCap(2)),
+                ("SLO feasibility", SLOFeasibility()))
+    header = (f"{'admission':<16}{'admitted':>9}{'rejected':>9}"
+              f"{'completed':>10}{'int p99':>9}{'int SLO':>9}")
+    print(header)
+    print("-" * len(header))
+    results = {}
+    for label, admission in policies:
+        dispatcher = Dispatcher(FAST_GPU, admission=admission,
+                                max_concurrent=2)
+        result = dispatcher.serve(requests, HORIZON_CYCLES)
+        results[label] = result
+        row = result.summary()["interactive"]
+        p99 = row["p99_latency"] if row["p99_latency"] is not None else "-"
+        print(f"{label:<16}{result.admitted:>9}{result.rejected:>9}"
+              f"{result.completed:>10}{p99:>9}"
+              f"{row['slo_attainment']:>9.1%}")
+    print("\nshedding load does not change what the admitted requests "
+          "experience by luck: the\nsimulator is deterministic, so any "
+          "difference above is the admission policy's doing")
+
+    # --- 4. the JSONL request trace ------------------------------------
+    stream = io.StringIO()
+    write_request_trace(stream, results["always admit"].records,
+                        meta={"example": "online_serving"})
+    stream.seek(0)
+    meta, records = read_request_trace(stream)
+    print(f"\nround-tripped {len(records)} request records through JSONL "
+          f"(schema v{meta['request_schema_version']})")
+
+
+if __name__ == "__main__":
+    main()

@@ -56,9 +56,25 @@ IMPORT_CONTRACTS: Tuple[ImportContract, ...] = (
     ImportContract(
         name="engine-harness-independence",
         packages=("repro.sim",),
-        forbidden=("repro.harness", "repro.osched", "repro.trace"),
+        forbidden=("repro.harness", "repro.osched", "repro.trace",
+                   "repro.serve"),
         rationale=("the simulator core must stay runnable without the "
-                   "experiment harness, cluster scheduler or exporters"),
+                   "experiment harness, cluster scheduler, exporters or "
+                   "the serving layer (serve drives the engine through "
+                   "launch_at/on_kernel_retired, never the reverse)"),
+    ),
+    ImportContract(
+        name="serve-layering",
+        packages=("repro.serve",),
+        forbidden=("repro.analysis", "repro.harness.parallel",
+                   "repro.harness.experiments"),
+        rationale=("the serving layer sits inside the code-salt closure "
+                   "(serve results are cached): it may build on the "
+                   "simulator, qos machinery, osched predictor and the "
+                   "salted harness modules (runner/cache/expdb), but "
+                   "pulling in the linter or the unsalted pool/figure "
+                   "drivers would either drag unsalted code into results "
+                   "or invert the tooling layering"),
     ),
     ImportContract(
         name="expdb-engine-independence",
@@ -79,7 +95,7 @@ IMPORT_CONTRACTS: Tuple[ImportContract, ...] = (
         packages=("repro.config", "repro.isa", "repro.kernels", "repro.sim",
                   "repro.qos", "repro.baselines", "repro.sharing",
                   "repro.controllers", "repro.power", "repro.harness",
-                  "repro.trace", "repro.osched"),
+                  "repro.trace", "repro.osched", "repro.serve"),
         forbidden=("repro.analysis",),
         rationale=("the linter is development tooling; runtime modules must "
                    "never depend on it (only the CLI dispatches into it)"),

@@ -8,8 +8,10 @@ leaves the salt unchanged and the cache silently serves stale results:
 exactly the failure a reproduction cannot afford.
 
 ``SALT001`` rebuilds the ground truth statically: it takes the transitive
-import closure of the result-producing roots (``repro.sim.engine`` and
-``repro.harness.runner``) over the analyzed tree, expands ``_SALTED``
+import closure of the result-producing roots (``repro.sim.engine``,
+``repro.harness.runner`` and ``repro.serve.runner`` — co-run and serving
+results are cached under the same salt) over the analyzed tree, expands
+``_SALTED``
 against the same tree, and flags every closure module whose source file the
 salt does not cover.  ``SALT002`` flags salt entries that no longer exist
 on disk (a stale entry is dead weight and usually means a rename slipped
@@ -30,7 +32,8 @@ CACHE_MODULE = "repro.harness.cache"
 
 #: Result-producing entry points whose static import closure defines the
 #: set of modules that can affect cached outcomes.
-CLOSURE_ROOTS: Tuple[str, ...] = ("repro.sim.engine", "repro.harness.runner")
+CLOSURE_ROOTS: Tuple[str, ...] = ("repro.sim.engine", "repro.harness.runner",
+                                  "repro.serve.runner")
 
 _SALT_TUPLE_NAME = "_SALTED"
 

@@ -13,6 +13,7 @@ Examples::
     repro-gpu-qos exp list                    # registered sweep experiments
     repro-gpu-qos exp resume exp-0123abcd4567 # finish an interrupted sweep
     repro-gpu-qos trace mri-q lbm -o case.jsonl   # per-epoch telemetry
+    repro-gpu-qos serve --load 2000 -o run.jsonl  # online serving case
     repro-gpu-qos lint --strict               # static invariant checks
     repro-gpu-qos controllers compare         # SLO controller evaluation
     repro-gpu-qos controllers bench --quick   # CI smoke for controllers
@@ -58,8 +59,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id (e.g. fig06a, table1, sec48_history), "
-             "'all', 'list', 'cache', 'exp', 'trace', 'lint', or "
-             "'controllers'")
+             "'all', 'list', 'cache', 'exp', 'trace', 'serve', 'lint', "
+             "or 'controllers'")
     parser.add_argument(
         "action", nargs="?", default=None,
         help="subcommand for 'cache': stats or clear")
@@ -184,10 +185,13 @@ def _main(argv: Optional[Sequence[str]] = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     argv = list(argv)
-    # 'trace', 'exp', 'lint' and 'controllers' have their own option
-    # grammars; dispatch before the main parse.
+    # 'trace', 'exp', 'lint', 'controllers' and 'serve' have their own
+    # option grammars; dispatch before the main parse.
     if argv and argv[0] == "trace":
         return _trace_command(argv[1:])
+    if argv and argv[0] == "serve":
+        from repro.serve.cli import main as serve_main
+        return serve_main(argv[1:])
     if argv and argv[0] == "exp":
         from repro.harness.expcli import main as exp_main
         return exp_main(argv[1:])

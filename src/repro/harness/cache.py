@@ -45,8 +45,8 @@ ENV_CACHE = "REPRO_CACHE"
 #: including this module itself, since the keying and record serialisation
 #: logic below decides what a cached entry means.
 _SALTED = ("config.py", "isa", "kernels", "sim", "qos", "baselines",
-           "controllers", "sharing", "power", "harness/runner.py",
-           "harness/cache.py", "harness/expdb.py")
+           "controllers", "sharing", "power", "osched", "serve",
+           "harness/runner.py", "harness/cache.py", "harness/expdb.py")
 
 _code_salt_memo: Optional[str] = None
 
@@ -139,6 +139,16 @@ def case_key(gpu: GPUConfig, names: Sequence[str],
     return _digest(payload)
 
 
+def serve_key(gpu: GPUConfig, spec_payload: dict) -> str:
+    """Content key of one serving case (a :class:`repro.serve.runner.ServeSpec`
+    run on one machine).  The spec payload already carries horizon, seed and
+    admission policy; the machine side is the GPU config plus the code salt,
+    so editing any salted source invalidates served results too."""
+    payload = {"gpu": dataclasses.asdict(gpu), "salt": code_salt(),
+               "kind": "serve", "spec": spec_payload}
+    return _digest(payload)
+
+
 # ------------------------------------------------- experiment (sweep) keying
 # The experiment store (:mod:`repro.harness.expdb`) is engine-independent
 # and deals only in plain payloads, so the content-hash identity of a sweep
@@ -154,6 +164,15 @@ def sweep_grid_payload(gpu: GPUConfig, cycles: int, warmup: int,
     payload["kind"] = "experiment"
     payload["telemetry"] = bool(telemetry)
     payload["specs"] = list(spec_payloads)
+    return payload
+
+
+def serve_grid_payload(gpu: GPUConfig,
+                       spec_payloads: Sequence[dict]) -> dict:
+    """The JSON-able description of one serving sweep (a load sweep is a
+    grid of :class:`repro.serve.runner.ServeSpec` payloads on one machine)."""
+    payload = {"gpu": dataclasses.asdict(gpu), "salt": code_salt(),
+               "kind": "serve-experiment", "specs": list(spec_payloads)}
     return payload
 
 
@@ -240,6 +259,19 @@ class CaseCache:
     def put_isolated(self, key: str, value: float) -> None:
         self._append(key, "isolated", value)
 
+    def get_serve(self, key: str) -> Optional[dict]:
+        """Cached serving-case value (plain dict: request-record payloads
+        plus counters — :mod:`repro.serve.runner` owns the shape)."""
+        entry = self._entries.get(key)
+        if entry is None or entry.get("kind") != "serve":
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry["value"]
+
+    def put_serve(self, key: str, value: dict) -> None:
+        self._append(key, "serve", value)
+
     # ------------------------------------------------------------ plumbing
 
     def __len__(self) -> int:
@@ -254,6 +286,7 @@ class CaseCache:
             "entries": len(self._entries),
             "cases": kinds.get("case", 0),
             "isolated": kinds.get("isolated", 0),
+            "serve": kinds.get("serve", 0),
             "size_bytes": self.path.stat().st_size if self.path.exists() else 0,
             "hits": self.hits,
             "misses": self.misses,

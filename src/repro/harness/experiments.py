@@ -71,6 +71,7 @@ class ExperimentSuite:
         self.cache = open_default_cache() if cache == "default" else cache
         self.expdb = open_default_expdb() if expdb == "default" else expdb
         self._runners: Dict[Tuple[GPUConfig, int], CaseRunner] = {}
+        self._serve_runners: Dict[tuple, object] = {}
 
     def runner(self, gpu: Optional[GPUConfig] = None,
                cycles: Optional[int] = None) -> CaseRunner:
@@ -80,6 +81,27 @@ class ExperimentSuite:
                 *key, cache=self.cache, workers=self.workers,
                 expdb=self.expdb)
         return self._runners[key]
+
+    def serve_runner(self, gpu: Optional[GPUConfig] = None):
+        """The suite's :class:`repro.serve.runner.ServeRunner` (memoised),
+        sharing the suite's cache, experiment store and pool width so load
+        sweeps are cached, resumable and provenance-stamped like figure
+        sweeps."""
+        from repro.serve.runner import ServeRunner
+        key = ("serve", gpu or self.preset.gpu)
+        if key not in self._serve_runners:
+            self._serve_runners[key] = ServeRunner(
+                gpu or self.preset.gpu, cache=self.cache, expdb=self.expdb,
+                workers=self.workers)
+        return self._serve_runners[key]
+
+    def _provenance_sources(self) -> Dict:
+        """Every runner whose ``experiment_log`` feeds figure provenance
+        (co-run keys are ``(gpu, cycles)``, serving keys ``("serve", gpu)``
+        — they cannot collide)."""
+        sources: Dict = dict(self._runners)
+        sources.update(self._serve_runners)
+        return sources
 
     # ----------------------------------------------------------- sweeps
 
@@ -665,6 +687,63 @@ class ExperimentSuite:
                   "qos_reach": sum(qos_reached) / max(1, len(qos_reached))},
         )
 
+    def ext_serving(self) -> ExperimentResult:
+        """Extension: open-loop online serving — load vs tail latency.
+
+        Sweeps a Poisson request stream (a latency-sensitive compute class
+        and a throughput batch class) over three load points on one
+        machine, reporting per-class p50/p99 end-to-end latency and SLO
+        attainment plus the latency CDF at the heaviest load.  The sweep
+        runs through the serving harness, so cases are memoised, cached
+        (kind ``serve``), fanned out and resumable like any figure sweep.
+        """
+        from repro.serve.metrics import class_summary, latency_cdf
+        from repro.serve.runner import ServeSpec
+
+        unit = self.preset.cycles
+        horizon = 4 * unit
+        classes = (("latency", "mri-q", unit, 4, 1.0),
+                   ("batch", "lbm", 4 * unit, 4, 1.0))
+        loads = (unit // 4, unit // 8, unit // 16)
+        specs = [ServeSpec(process="poisson",
+                           params=(("mean_interarrival_cycles", float(load)),),
+                           classes=classes, seed=0, horizon_cycles=horizon)
+                 for load in loads]
+        outcomes = self.serve_runner().sweep(specs)
+        summaries = {}
+        rows = []
+        for load, outcome in zip(loads, outcomes):
+            summary = class_summary(outcome.records)
+            label = f"1/{load}cyc"
+            summaries[label] = summary
+            lat = summary.get("latency", {})
+            bat = summary.get("batch", {})
+            rows.append((label,
+                         lat.get("p50_latency"), lat.get("p99_latency"),
+                         100.0 * lat.get("slo_attainment", 0.0),
+                         bat.get("p99_latency"),
+                         100.0 * bat.get("slo_attainment", 0.0)))
+        load_table = format_table(
+            "Extension: online serving (poisson load sweep)", "arrival rate",
+            ("lat p50", "lat p99", "lat SLO%", "bat p99", "bat SLO%"), rows,
+            "open-loop poisson arrivals; SLO attainment counts rejected and "
+            "horizon-unfinished requests as misses")
+        cdf = latency_cdf(outcomes[-1].records)
+        cdf_points = ("p10", "p25", "p50", "p75", "p90", "p95", "p99", "p100")
+        cdf_rows = [(name,) + tuple(points.get(p) for p in cdf_points)
+                    for name, points in cdf]
+        cdf_table = format_table(
+            f"Latency CDF at the heaviest load (1/{loads[-1]}cyc)", "class",
+            cdf_points, cdf_rows,
+            "end-to-end latency in cycles at the sampled CDF fractions")
+        return ExperimentResult(
+            "ext_serving", "Extension: online serving under open-loop load",
+            load_table + "\n\n" + cdf_table,
+            data={"summaries": summaries,
+                  "cdf": {name: points for name, points in cdf},
+                  "loads": list(loads), "horizon": horizon},
+        )
+
     # --------------------------------------------------------------- driver
 
     EXPERIMENTS = ("table1", "table2", "fig05", "fig06a", "fig06b", "fig06c",
@@ -672,7 +751,7 @@ class ExperimentSuite:
                    "fig11", "fig12", "fig13", "fig14", "sec48_preemption",
                    "sec48_history", "sec48_static", "ext_epoch_length",
                    "ext_scheduler", "ext_unmanaged", "ext_sharing_regimes",
-                   "ext_fusion")
+                   "ext_fusion", "ext_serving")
 
     def run(self, experiment_id: str) -> ExperimentResult:
         """Run one figure driver and stamp its provenance.
@@ -687,10 +766,10 @@ class ExperimentSuite:
             raise ValueError(f"unknown experiment {experiment_id!r}; "
                              f"choose from {self.EXPERIMENTS}")
         marks = {key: len(runner.experiment_log)
-                 for key, runner in self._runners.items()}
+                 for key, runner in self._provenance_sources().items()}
         result = getattr(self, experiment_id)()
         entries: List[Tuple[str, str]] = []
-        for key, runner in self._runners.items():
+        for key, runner in self._provenance_sources().items():
             for entry in runner.experiment_log[marks.get(key, 0):]:
                 if entry not in entries:
                     entries.append(entry)

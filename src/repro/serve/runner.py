@@ -1,0 +1,459 @@
+"""Memoised execution of serving cases (the load-sweep harness).
+
+A serving evaluation is a grid of independent *serving cases* — one
+arrival process at one load level under one admission policy — exactly
+like a figure sweep is a grid of co-run cases.  This module gives serving
+cases the same three-layer execution contract co-run cases get from
+:class:`repro.harness.runner.CaseRunner`:
+
+* an in-process memo keyed by the full :class:`ServeSpec`;
+* the persistent :class:`repro.harness.cache.CaseCache` (entry kind
+  ``serve``, keyed by :func:`repro.harness.cache.serve_key`, salted by the
+  same code digest as co-run records);
+* pull-based sweeps through :class:`repro.harness.expdb.ExperimentDB`
+  (claim-by-update), so an interrupted load sweep resumes instead of
+  restarting and every sweep has a content-derived experiment id for
+  provenance.
+
+Parallelism is inlined rather than imported from
+:mod:`repro.harness.parallel`: this module sits inside the code-salt
+closure (serving results are cached), and pulling the generic pool runner
+in would drag an unsalted module into that closure (lint rule SALT001).
+The pool protocol is the same — module-level worker init + task functions
+so they pickle, one throwaway serial :class:`ServeRunner` per worker,
+graceful degradation to the serial claim loop when the platform refuses a
+process pool — which is what keeps parallel sweeps byte-identical to
+serial ones.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import GPUConfig
+from repro.harness.runner import SweepInterrupted, make_policy
+from repro.serve.arrivals import (ArrivalProcess, BurstyArrivals,
+                                  DiurnalArrivals, PeriodicArrivals,
+                                  PoissonArrivals, RequestClass)
+from repro.serve.dispatcher import (AdmissionPolicy, AlwaysAdmit, Dispatcher,
+                                    QueueCap, SLOFeasibility)
+from repro.serve.metrics import (RequestRecord, request_record_from_dict,
+                                 request_record_to_dict)
+
+ENV_WORKERS = "REPRO_WORKERS"
+
+#: Arrival-process names accepted by :attr:`ServeSpec.process`.
+PROCESS_NAMES = ("poisson", "bursty", "diurnal", "periodic")
+
+
+def resolve_workers(workers: Optional[int] = None) -> int:
+    """Explicit argument > ``REPRO_WORKERS`` > ``cpu_count() - 1`` (min 1).
+
+    Same resolution order as the co-run harness, re-read here so this
+    module stays outside :mod:`repro.harness.parallel` (see module
+    docstring for why).
+    """
+    if workers is None:
+        env = os.environ.get(ENV_WORKERS, "").strip()
+        if env:
+            workers = int(env)
+        else:
+            workers = (os.cpu_count() or 2) - 1
+    return max(1, workers)
+
+
+@dataclass(frozen=True)
+class ServeSpec:
+    """One serving case, declaratively: everything :meth:`ServeRunner.run_spec`
+    needs to rebuild the arrival stream, dispatcher and admission policy.
+
+    ``params`` holds the arrival process's numeric parameters as sorted
+    ``(name, value)`` pairs so the spec stays hashable and its payload is
+    canonical; ``classes`` rows are ``(name, kernel, slo_cycles, grid_tbs,
+    weight)`` tuples mirroring :class:`repro.serve.arrivals.RequestClass`.
+    """
+
+    process: str
+    params: Tuple[Tuple[str, float], ...]
+    classes: Tuple[Tuple[str, str, int, int, float], ...]
+    seed: int
+    horizon_cycles: int
+    admission: str = "always"
+    max_concurrent: int = 4
+    policy: str = "smk"
+
+    def __post_init__(self) -> None:
+        if self.process not in PROCESS_NAMES:
+            raise ValueError(f"unknown arrival process {self.process!r}; "
+                             f"expected one of {PROCESS_NAMES}")
+        if self.horizon_cycles <= 0:
+            raise ValueError("horizon_cycles must be positive")
+        if not self.classes:
+            raise ValueError("a serving case needs at least one class")
+
+    @property
+    def key(self) -> tuple:
+        """The in-process memo key (the spec is its own identity)."""
+        return (self.process, self.params, self.classes, self.seed,
+                self.horizon_cycles, self.admission, self.max_concurrent,
+                self.policy)
+
+    def payload(self) -> dict:
+        """Plain JSON-able form, the shape stored in the experiment DB."""
+        return {"process": self.process,
+                "params": {name: value for name, value in self.params},
+                "classes": [list(row) for row in self.classes],
+                "seed": self.seed,
+                "horizon_cycles": self.horizon_cycles,
+                "admission": self.admission,
+                "max_concurrent": self.max_concurrent,
+                "policy": self.policy}
+
+    @classmethod
+    def from_payload(cls, payload: dict) -> "ServeSpec":
+        return cls(
+            process=payload["process"],
+            params=tuple(sorted(
+                (str(name), float(value))
+                for name, value in payload["params"].items())),
+            classes=tuple(
+                (str(row[0]), str(row[1]), int(row[2]), int(row[3]),
+                 float(row[4]))
+                for row in payload["classes"]),
+            seed=int(payload["seed"]),
+            horizon_cycles=int(payload["horizon_cycles"]),
+            admission=payload["admission"],
+            max_concurrent=int(payload["max_concurrent"]),
+            policy=payload["policy"])
+
+    # -------------------------------------------------------------- builders
+
+    def request_classes(self) -> Tuple[RequestClass, ...]:
+        return tuple(RequestClass(name=name, kernel=kernel, slo_cycles=slo,
+                                  grid_tbs=grid, weight=weight)
+                     for name, kernel, slo, grid, weight in self.classes)
+
+    def build_process(self) -> ArrivalProcess:
+        classes = self.request_classes()
+        params = {name: value for name, value in self.params}
+        if self.process == "poisson":
+            return PoissonArrivals(classes,
+                                   params["mean_interarrival_cycles"],
+                                   seed=self.seed)
+        if self.process == "bursty":
+            return BurstyArrivals(classes,
+                                  params["burst_interarrival"],
+                                  params["idle_interarrival"],
+                                  params["mean_burst_cycles"],
+                                  params["mean_idle_cycles"],
+                                  seed=self.seed)
+        if self.process == "diurnal":
+            return DiurnalArrivals(classes,
+                                   params["mean_interarrival_cycles"],
+                                   int(params["period_cycles"]),
+                                   amplitude=params.get("amplitude", 0.8),
+                                   seed=self.seed)
+        return PeriodicArrivals(classes, int(params["period_cycles"]),
+                                seed=self.seed)
+
+    def build_admission(self) -> AdmissionPolicy:
+        if self.admission == "always":
+            return AlwaysAdmit()
+        if self.admission.startswith("cap:"):
+            return QueueCap(int(self.admission.split(":", 1)[1]))
+        if self.admission == "slo":
+            return SLOFeasibility()
+        raise ValueError(f"unknown admission policy {self.admission!r}; "
+                         f"expected 'always', 'cap:<n>' or 'slo'")
+
+
+@dataclass(frozen=True)
+class ServeCaseOutcome:
+    """The cached result of one serving case: the full request-record
+    stream plus the dispatcher's counters.  (Telemetry is deliberately not
+    part of the cached shape — serving analysis is request-level; epoch
+    telemetry stays a :class:`repro.serve.dispatcher.Dispatcher` concern.)
+    """
+
+    records: Tuple[RequestRecord, ...]
+    horizon_cycles: int
+    generated: int
+    admitted: int
+    rejected: int
+    completed: int
+    unfinished: int
+
+    def to_value(self) -> dict:
+        """The JSON shape stored under cache kind ``serve``."""
+        return {"records": [request_record_to_dict(r) for r in self.records],
+                "horizon_cycles": self.horizon_cycles,
+                "generated": self.generated,
+                "admitted": self.admitted,
+                "rejected": self.rejected,
+                "completed": self.completed,
+                "unfinished": self.unfinished}
+
+    @classmethod
+    def from_value(cls, value: dict) -> "ServeCaseOutcome":
+        return cls(
+            records=tuple(request_record_from_dict(payload)
+                          for payload in value["records"]),
+            horizon_cycles=int(value["horizon_cycles"]),
+            generated=int(value["generated"]),
+            admitted=int(value["admitted"]),
+            rejected=int(value["rejected"]),
+            completed=int(value["completed"]),
+            unfinished=int(value["unfinished"]))
+
+
+# ----------------------------------------------------------------- workers
+# Module-level so they pickle; one throwaway serial ServeRunner per pool
+# worker (built once, in the initializer), mirroring the co-run pool
+# protocol without importing it.
+
+_SERVE_WORKER: Optional["ServeRunner"] = None
+
+
+def _serve_worker_init(gpu: GPUConfig) -> None:
+    global _SERVE_WORKER
+    _SERVE_WORKER = ServeRunner(gpu, workers=1)
+
+
+def _run_serve_task(spec: ServeSpec) -> ServeCaseOutcome:
+    return _SERVE_WORKER.run_spec(spec)
+
+
+class ServeRunner:
+    """Runs and memoises serving cases; sweeps are pull-based experiments."""
+
+    def __init__(self, gpu: GPUConfig, cache=None, expdb=None,
+                 workers: Optional[int] = None):
+        self.gpu = gpu
+        #: Optional :class:`repro.harness.cache.CaseCache`; consulted on
+        #: memo misses, fed on every fresh serve (entry kind ``serve``).
+        self.cache = cache
+        #: Optional :class:`repro.harness.expdb.ExperimentDB`; when set,
+        #: :meth:`sweep` registers its grid there and becomes resumable.
+        self.expdb = expdb
+        self.workers = resolve_workers(workers)
+        #: ``(experiment id, spec hash)`` of every sweep registered in the
+        #: *persistent* store — the provenance raw material.
+        self.experiment_log: List[Tuple[str, str]] = []
+        #: Test seam: raise :class:`SweepInterrupted` after this many cases
+        #: of a sweep complete.  None (the default) never fires.
+        self.fault_after: Optional[int] = None
+        self._outcomes: Dict[tuple, ServeCaseOutcome] = {}
+
+    # --------------------------------------------------------------- running
+
+    def run_spec(self, spec: ServeSpec) -> ServeCaseOutcome:
+        """Serve one case (memoised by the full spec)."""
+        if spec.key in self._outcomes:
+            return self._outcomes[spec.key]
+        cache_key = None
+        if self.cache is not None:
+            from repro.harness.cache import serve_key
+            cache_key = serve_key(self.gpu, spec.payload())
+            cached = self.cache.get_serve(cache_key)
+            if cached is not None:
+                outcome = ServeCaseOutcome.from_value(cached)
+                self._outcomes[spec.key] = outcome
+                return outcome
+        outcome = self._serve(spec)
+        self._outcomes[spec.key] = outcome
+        if cache_key is not None:
+            self.cache.put_serve(cache_key, outcome.to_value())
+        return outcome
+
+    def _serve(self, spec: ServeSpec) -> ServeCaseOutcome:
+        requests = spec.build_process().generate(spec.horizon_cycles)
+        dispatcher = Dispatcher(self.gpu, policy=make_policy(spec.policy),
+                                admission=spec.build_admission(),
+                                max_concurrent=spec.max_concurrent)
+        result = dispatcher.serve(requests, spec.horizon_cycles)
+        return ServeCaseOutcome(
+            records=result.records,
+            horizon_cycles=result.horizon_cycles,
+            generated=result.generated,
+            admitted=result.admitted,
+            rejected=result.rejected,
+            completed=result.completed,
+            unfinished=result.unfinished)
+
+    # ---------------------------------------------------------------- sweeps
+
+    def sweep(self, specs: Sequence[ServeSpec],
+              register: bool = True) -> List[ServeCaseOutcome]:
+        """Run a batch of serving cases, returning outcomes in input order.
+
+        Identical contract to :meth:`repro.harness.runner.CaseRunner.sweep`:
+        the grid is registered in the experiment store (persistent when the
+        runner has one and ``register`` is True, throwaway in-memory
+        otherwise) and cases are pulled one claim at a time, so an
+        interrupted load sweep resumes where it stopped and converges on
+        outcomes byte-identical to an uninterrupted run.
+        """
+        specs = list(specs)
+        if not specs:
+            return []
+        sweep_reg = self._register_sweep(specs, register)
+        try:
+            self._pull_pending(sweep_reg)
+        finally:
+            sweep_reg.db.finish(sweep_reg.experiment_id)
+            if not sweep_reg.persistent:
+                sweep_reg.db.close()
+        return [self.run_spec(spec) for spec in specs]
+
+    def _register_sweep(self, specs: Sequence[ServeSpec], register: bool):
+        from repro.harness.cache import (code_salt, experiment_id_for,
+                                         experiment_spec_hash, serve_key,
+                                         serve_grid_payload)
+        from repro.harness.expdb import ExperimentDB
+        from repro.harness.runner import RegisteredSweep
+
+        payloads = [spec.payload() for spec in specs]
+        grid = serve_grid_payload(self.gpu, payloads)
+        spec_hash = experiment_spec_hash(grid)
+        experiment_id = experiment_id_for(spec_hash)
+        persistent = register and self.expdb is not None
+        db = self.expdb if persistent else ExperimentDB(":memory:")
+        case_rows = [(payload, serve_key(self.gpu, payload))
+                     for payload in payloads]
+        db.register(experiment_id, spec_hash, code_salt(), grid, case_rows)
+        if persistent:
+            self.experiment_log.append((experiment_id, spec_hash))
+        return RegisteredSweep(db, experiment_id, spec_hash, persistent)
+
+    def _fault_check(self, completed: int) -> None:
+        if self.fault_after is not None and completed >= self.fault_after:
+            raise SweepInterrupted(
+                f"fault injected after {completed} completed serving cases")
+
+    def _pull_pending(self, sweep_reg) -> None:
+        """Claim and run pending cases until the table drains; fan out over
+        an inline process pool when the runner has more than one worker."""
+        db, experiment_id = sweep_reg.db, sweep_reg.experiment_id
+        db.release_stale(experiment_id)
+        if self.workers > 1:
+            from repro.harness.expdb import PENDING
+            pending = sum(1 for row in db.cases(experiment_id)
+                          if row["status"] == PENDING)
+            if pending > 1 and self._pull_through_pool(sweep_reg):
+                return
+        self._pull_serial(sweep_reg)
+
+    def _pull_serial(self, sweep_reg) -> None:
+        db, experiment_id = sweep_reg.db, sweep_reg.experiment_id
+        worker = f"serve-serial:{os.getpid()}"
+        completed = 0
+        while True:
+            claim = db.claim_next(experiment_id, worker)
+            if claim is None:
+                break
+            case_index, payload = claim
+            spec = ServeSpec.from_payload(payload)
+            try:
+                self.run_spec(spec)
+            except BaseException as error:
+                db.mark_failed(experiment_id, case_index, repr(error))
+                raise
+            db.mark_done(experiment_id, case_index)
+            completed += 1
+            self._fault_check(completed)
+
+    def _pull_through_pool(self, sweep_reg) -> bool:
+        """Parallel claim loop; returns False when no pool is available so
+        the caller falls back to the serial path (sandboxes without process
+        spawning stay correct, just slower)."""
+        try:
+            from concurrent.futures import (FIRST_COMPLETED, BrokenExecutor,
+                                            ProcessPoolExecutor, wait)
+            pool = ProcessPoolExecutor(max_workers=self.workers,
+                                       initializer=_serve_worker_init,
+                                       initargs=(self.gpu,))
+        except (OSError, PermissionError, ImportError):
+            return False
+        db, experiment_id = sweep_reg.db, sweep_reg.experiment_id
+        worker = f"serve-pool:{os.getpid()}"
+        completed = 0
+        inflight: Dict[object, Tuple[ServeSpec, List[int]]] = {}
+        by_key: Dict[tuple, object] = {}
+        drained = False
+        try:
+            while True:
+                while not drained and len(inflight) < self.workers:
+                    claim = db.claim_next(experiment_id, worker)
+                    if claim is None:
+                        drained = True
+                        break
+                    case_index, payload = claim
+                    spec = ServeSpec.from_payload(payload)
+                    if spec.key in self._outcomes or self._load_cached(spec):
+                        db.mark_done(experiment_id, case_index)
+                        completed += 1
+                        self._fault_check(completed)
+                        continue
+                    twin = by_key.get(spec.key)
+                    if twin is not None:
+                        inflight[twin][1].append(case_index)
+                        continue
+                    future = pool.submit(_run_serve_task, spec)
+                    inflight[future] = (spec, [case_index])
+                    by_key[spec.key] = future
+                if not inflight:
+                    break
+                done_set, _ = wait(inflight, return_when=FIRST_COMPLETED)
+                for future in done_set:
+                    spec, case_indices = inflight.pop(future)
+                    by_key.pop(spec.key, None)
+                    try:
+                        outcome = future.result()
+                    except SweepInterrupted:
+                        raise
+                    except BaseException as error:
+                        if isinstance(error, (BrokenExecutor, OSError,
+                                              PermissionError)):
+                            # The pool died under us: release the in-flight
+                            # claims and let the serial path finish.
+                            db.release_stale(experiment_id)
+                            return False
+                        for case_index in case_indices:
+                            db.mark_failed(experiment_id, case_index,
+                                           repr(error))
+                        raise
+                    self._outcomes[spec.key] = outcome
+                    self._store_outcome(spec, outcome)
+                    for case_index in case_indices:
+                        db.mark_done(experiment_id, case_index)
+                        completed += 1
+                    self._fault_check(completed)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+        return True
+
+    # ------------------------------------------------------------ cache glue
+
+    def _load_cached(self, spec: ServeSpec) -> bool:
+        if self.cache is None:
+            return False
+        from repro.harness.cache import serve_key
+        cached = self.cache.get_serve(serve_key(self.gpu, spec.payload()))
+        if cached is None:
+            return False
+        self._outcomes[spec.key] = ServeCaseOutcome.from_value(cached)
+        return True
+
+    def _store_outcome(self, spec: ServeSpec,
+                       outcome: ServeCaseOutcome) -> None:
+        if self.cache is None:
+            return
+        from repro.harness.cache import serve_key
+        self.cache.put_serve(serve_key(self.gpu, spec.payload()),
+                             outcome.to_value())
+
+    @property
+    def cached_cases(self) -> int:
+        return len(self._outcomes)

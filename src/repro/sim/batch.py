@@ -163,6 +163,14 @@ class BatchState:
             self._advance_gto if sim.config.scheduler_policy == "gto"
             else self._advance_lrr)
 
+    def add_kernel(self, runtime) -> None:
+        """Build pattern tables for a kernel launched mid-run
+        (``GPUSimulator.launch_at``): activation always happens on the
+        scalar path (the probe horizon never crosses a pending launch), so
+        extending here between windows is safe."""
+        self.ops.append(PatternOps(runtime, self.sim.config.memory.latency))
+        self.num_kernels += 1
+
     def probe_failed(self, cycle: int) -> None:
         """Back off after a too-short horizon so dense-edge (memory-bound)
         phases pay O(warps) probe cost only every ``backoff`` cycles."""
@@ -192,6 +200,11 @@ class BatchState:
         next_done = sim.preemption.next_completion
         if next_done is not None and next_done < horizon:
             horizon = next_done
+        # A pending mid-run launch (repro.serve arrivals) is a control edge:
+        # the window must close there so activation runs on the scalar path
+        # at the same loop-top point as the scan and event cores.
+        if sim._next_launch_at < horizon:
+            horizon = sim._next_launch_at
         if end_cycle < horizon:
             horizon = end_cycle
         floor = cycle + self.min_window

@@ -22,7 +22,7 @@ by default.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.config import GPUConfig
 from repro.kernels.spec import KernelSpec
@@ -47,15 +47,25 @@ class LaunchedKernel:
     application's QoS requirement (Section 3.2), in retired thread
     instructions per cycle, aggregated over the whole GPU.  Non-QoS kernels
     leave it ``None``.
+
+    ``grid_tbs`` bounds the kernel's grid: ``None`` (the default) keeps the
+    historical infinite-TB-stream behaviour used by the closed co-run
+    studies; a positive count makes the kernel *finite* — it retires after
+    that many TBs complete, which is what the online serving layer
+    (:mod:`repro.serve`) builds request lifecycles on.
     """
 
     spec: KernelSpec
     is_qos: bool = False
     ipc_goal: Optional[float] = None
+    grid_tbs: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.is_qos and (self.ipc_goal is None or self.ipc_goal <= 0):
             raise ValueError(f"QoS kernel {self.spec.name} needs a positive ipc_goal")
+        if self.grid_tbs is not None and self.grid_tbs <= 0:
+            raise ValueError(
+                f"kernel {self.spec.name} grid_tbs must be positive or None")
 
 
 class GPUSimulator:
@@ -63,8 +73,9 @@ class GPUSimulator:
 
     def __init__(self, config: GPUConfig, kernels: List[LaunchedKernel],
                  policy: Optional[SharingPolicy] = None,
-                 telemetry: Optional[TelemetryRecorder] = None):
-        if not kernels:
+                 telemetry: Optional[TelemetryRecorder] = None,
+                 allow_empty: bool = False):
+        if not kernels and not allow_empty:
             raise ValueError("at least one kernel must be launched")
         names = [k.spec.name for k in kernels]
         if len(set(names)) != len(names):
@@ -95,6 +106,25 @@ class GPUSimulator:
             [0] * self.num_kernels for _ in range(config.num_sms)
         ]
         self._next_tb_id = [0] * self.num_kernels
+        # Online-serving state (repro.serve): kernels may join mid-run via
+        # launch_at and leave again when a finite grid drains.  A FIFO of
+        # not-yet-activated launches plus a cheap sentinel the run loops,
+        # _skip_idle and the batch probe all check, so every core processes
+        # a launch at exactly the same loop-top point.
+        self._pending_launches: List[Tuple[int, LaunchedKernel]] = []
+        self._next_launch_at = _FOREVER
+        self.kernel_active = [True] * self.num_kernels
+        self.kernel_launch_cycle = [0] * self.num_kernels
+        self.kernel_finish_cycle: List[Optional[int]] = [None] * self.num_kernels
+        # TB ids of evicted finite-grid TBs awaiting re-dispatch.  An
+        # evicted TB never resumes in this simulator; a finite kernel can
+        # only drain if the id is replayed from scratch (the accounting
+        # matches context-reset preemption: the partial progress is wasted).
+        self._replay_tbs: List[List[int]] = [[] for _ in range(self.num_kernels)]
+        #: Called as ``on_kernel_retired(kernel_idx, cycle)`` when a finite
+        #: kernel's last TB completes; the serving dispatcher hangs request
+        #: completion (and follow-on launches) off this.
+        self.on_kernel_retired: Optional[Callable] = None
         self.ctx = PolicyContext(self)
         self.telemetry = telemetry
         # Busy-trajectory counters backing the telemetry sleep-skip fields:
@@ -136,6 +166,97 @@ class GPUSimulator:
             self.telemetry.open_epoch(0, 0)
         self.policy.on_epoch_start(self.ctx, 0, 0)
 
+    # ---------------------------------------------------- online launch/retire
+
+    def launch_at(self, cycle: int, launch: LaunchedKernel) -> int:
+        """Register a kernel to join the machine at ``cycle``; returns the
+        kernel index it will occupy.
+
+        Launches must be registered in non-decreasing cycle order at or
+        after the current cycle (the serving dispatcher feeds arrivals in
+        time order, so this costs nothing and keeps activation order — and
+        therefore kernel indices — identical across engine cores).  The
+        kernel activates at the top of the first simulated cycle ``>=
+        cycle``: the event core's idle skip, the batch core's probe horizon
+        and the scan core all stop there, so all three cores see the same
+        machine state at activation.
+        """
+        if cycle < self.cycle:
+            raise ValueError(
+                f"cannot launch {launch.spec.name} at cycle {cycle}: the "
+                f"simulator is already at cycle {self.cycle}")
+        pending = self._pending_launches
+        if pending and cycle < pending[-1][0]:
+            raise ValueError("launches must be registered in cycle order")
+        names = set(k.spec.name for k in self.kernels)
+        names.update(entry.spec.name for _, entry in pending)
+        if launch.spec.name in names:
+            raise ValueError(f"kernel name {launch.spec.name} already launched")
+        pending.append((cycle, launch))
+        if cycle < self._next_launch_at:
+            self._next_launch_at = cycle
+        return self.num_kernels + len(pending) - 1
+
+    def _process_launches(self, cycle: int) -> None:
+        """Activate every pending launch due at ``cycle`` (loop-top hook)."""
+        pending = self._pending_launches
+        while pending and pending[0][0] <= cycle:
+            _due, launch = pending.pop(0)
+            self._activate_launch(launch, cycle)
+        self._next_launch_at = pending[0][0] if pending else _FOREVER
+
+    def _activate_launch(self, launch: LaunchedKernel, cycle: int) -> None:
+        """Append one kernel to every per-kernel structure and dispatch it."""
+        idx = self.num_kernels
+        self.kernels.append(launch)
+        self.num_kernels = idx + 1
+        self.runtimes.append(
+            KernelRuntime(idx, launch.spec, self.config.memory.line_size))
+        self.kernel_stats.append(KernelStats())
+        self.memory.add_kernel()
+        for sm in self.sms:
+            sm.add_kernel()
+        for targets in self.tb_targets:
+            targets.append(0)
+        self._next_tb_id.append(0)
+        self._replay_tbs.append([])
+        self.kernel_active.append(True)
+        self.kernel_launch_cycle.append(cycle)
+        self.kernel_finish_cycle.append(None)
+        self._retired_baseline.append(0)
+        self._tbs_baseline.append(0)
+        self._memory_baseline.append(dict())
+        if self._batch_state is not None:
+            self._batch_state.add_kernel(self.runtimes[idx])
+        # The policy owns residency decisions for the newcomer exactly as it
+        # does at setup; the default hook greedily fills every SM.  Target
+        # setting dispatches eagerly (``_configured`` is True), and
+        # ``dispatch_tb -> add_warp`` runs the scheduler wake chain, so
+        # sleeping SMs on the event core wake for the launch automatically.
+        self.policy.on_kernel_launched(self.ctx, idx, cycle)
+
+    def _retire_kernel(self, kernel_idx: int, cycle: int) -> None:
+        """Detach a drained finite kernel: its last TB just completed.
+
+        The kernel keeps its index (results and telemetry stay addressable)
+        but stops participating: targets are zeroed, dispatch skips it, and
+        the per-request bookkeeping reads ``kernel_finish_cycle``.
+        """
+        self.kernel_active[kernel_idx] = False
+        self.kernel_finish_cycle[kernel_idx] = cycle
+        for targets in self.tb_targets:
+            targets[kernel_idx] = 0
+        self.policy.on_kernel_retired(self.ctx, kernel_idx, cycle)
+        if self.on_kernel_retired is not None:
+            self.on_kernel_retired(kernel_idx, cycle)
+
+    def _finish_eviction(self, sm: SM, tb, cycle: int) -> None:
+        """Release a fully context-saved TB; finite grids replay its id."""
+        if self.kernels[tb.kernel_idx].grid_tbs is not None:
+            self._replay_tbs[tb.kernel_idx].append(tb.tb_id)
+        sm.remove_tb(tb)
+        self._dispatch_sm(sm, cycle)
+
     def run(self, num_cycles: int) -> None:
         """Advance the machine by ``num_cycles`` cycles.
 
@@ -164,10 +285,11 @@ class GPUSimulator:
             next_done = preemption.next_completion
             if next_done is not None and next_done <= cycle:
                 for sm, tb in preemption.pop_completed(cycle):
-                    sm.remove_tb(tb)
-                    self._dispatch_sm(sm, cycle)
+                    self._finish_eviction(sm, tb, cycle)
             if cycle >= self.next_epoch_at:
                 self._begin_epoch(cycle)
+            if cycle >= self._next_launch_at:
+                self._process_launches(cycle)
             sample = cycle >= self.next_sample_at
             if sample:
                 # Advance along the fixed epoch-anchored grid (never from the
@@ -237,10 +359,11 @@ class GPUSimulator:
             next_done = preemption.next_completion
             if next_done is not None and next_done <= cycle:
                 for sm, tb in preemption.pop_completed(cycle):
-                    sm.remove_tb(tb)
-                    self._dispatch_sm(sm, cycle)
+                    self._finish_eviction(sm, tb, cycle)
             if cycle >= self.next_epoch_at:
                 self._begin_epoch(cycle)
+            if cycle >= self._next_launch_at:
+                self._process_launches(cycle)
             sample = cycle >= self.next_sample_at
             if sample:
                 missed = (cycle - self.next_sample_at) // sample_interval
@@ -295,10 +418,11 @@ class GPUSimulator:
             next_done = preemption.next_completion
             if next_done is not None and next_done <= cycle:
                 for sm, tb in preemption.pop_completed(cycle):
-                    sm.remove_tb(tb)
-                    self._dispatch_sm(sm, cycle)
+                    self._finish_eviction(sm, tb, cycle)
             if cycle >= self.next_epoch_at:
                 self._begin_epoch(cycle)
+            if cycle >= self._next_launch_at:
+                self._process_launches(cycle)
             sample = cycle >= self.next_sample_at
             if sample:
                 missed = (cycle - self.next_sample_at) // sample_interval
@@ -405,6 +529,8 @@ class GPUSimulator:
             wake = next_done
         if self.next_sample_at < wake:
             wake = self.next_sample_at
+        if self._next_launch_at < wake:
+            wake = self._next_launch_at
         sm_wake = self._min_sm_wake()
         if sm_wake < wake:
             wake = sm_wake
@@ -451,6 +577,7 @@ class GPUSimulator:
         live_counts = sm.live_tb_count
         resources = sm.resources
         kernels = self.kernels
+        replay = self._replay_tbs
         while True:
             best_idx = -1
             best_ratio = 1.0
@@ -461,6 +588,10 @@ class GPUSimulator:
                 live = live_counts[kernel_idx]
                 if live >= target:
                     continue
+                grid = kernels[kernel_idx].grid_tbs
+                if (grid is not None and not replay[kernel_idx]
+                        and self._next_tb_id[kernel_idx] >= grid):
+                    continue  # finite grid fully handed out
                 if not resources.can_admit(kernels[kernel_idx].spec):
                     continue
                 ratio = live / target
@@ -469,8 +600,11 @@ class GPUSimulator:
                     best_ratio = ratio
             if best_idx < 0:
                 return
-            tb_id = self._next_tb_id[best_idx]
-            self._next_tb_id[best_idx] += 1
+            if replay[best_idx]:
+                tb_id = replay[best_idx].pop(0)
+            else:
+                tb_id = self._next_tb_id[best_idx]
+                self._next_tb_id[best_idx] += 1
             sm.dispatch_tb(best_idx, tb_id, cycle)
 
     def total_tbs(self, kernel_idx: int) -> int:
@@ -480,8 +614,14 @@ class GPUSimulator:
     # -------------------------------------------------------------- callbacks
 
     def _on_tb_finished(self, sm: SM, tb, cycle: int) -> None:
-        self.kernel_stats[tb.kernel_idx].completed_tbs += 1
+        kernel_idx = tb.kernel_idx
+        stats = self.kernel_stats[kernel_idx]
+        stats.completed_tbs += 1
         sm.remove_tb(tb)
+        grid = self.kernels[kernel_idx].grid_tbs
+        if (grid is not None and self.kernel_active[kernel_idx]
+                and stats.completed_tbs >= grid):
+            self._retire_kernel(kernel_idx, cycle)
         self._dispatch_sm(sm, cycle)
 
     def _on_quota_exhausted(self, sm: SM, kernel_idx: int, cycle: int) -> None:

@@ -163,6 +163,10 @@ class MemorySubsystem:
             KernelMemoryStats() for _ in range(num_kernels)
         ]
 
+    def add_kernel(self) -> None:
+        """Open a stats slot for a kernel launched mid-run."""
+        self.kernel_stats.append(KernelMemoryStats())
+
     @property
     def line_size(self) -> int:
         return self._line_size

@@ -76,6 +76,21 @@ class SharingPolicy:
                            kernel_idx: int, cycle: int) -> None:
         """Called when a kernel's local quota counter crosses zero."""
 
+    def on_kernel_launched(self, ctx: "PolicyContext", kernel_idx: int,
+                           cycle: int) -> None:
+        """Called when a kernel joins mid-run (``GPUSimulator.launch_at``).
+
+        The default mirrors :meth:`setup`: greedily fill every SM with the
+        newcomer.  QoS policies may override to carve residency instead.
+        """
+        max_tbs = ctx.config.sm.max_tbs
+        for sm_id in range(ctx.num_sms):
+            ctx.set_tb_target(sm_id, kernel_idx, max_tbs)
+
+    def on_kernel_retired(self, ctx: "PolicyContext", kernel_idx: int,
+                          cycle: int) -> None:
+        """Called when a finite-grid kernel's last TB completes."""
+
 
 class PolicyContext:
     """What a policy may see and do between epochs.
@@ -92,12 +107,20 @@ class PolicyContext:
     def __init__(self, engine) -> None:
         self._engine = engine
         self.config = engine.config
-        self.kernels = tuple(engine.kernels)
-        self.num_kernels = engine.num_kernels
         self.num_sms = engine.config.num_sms
-        self._last_retired: List[int] = [0] * self.num_kernels
+        self._last_retired: List[int] = [0] * engine.num_kernels
         self._last_cycle = 0
         self._view: Optional[EpochView] = None
+
+    @property
+    def kernels(self) -> Tuple:
+        """The launched kernels — read through to the engine, because the
+        serving layer may launch kernels mid-run (``launch_at``)."""
+        return tuple(self._engine.kernels)
+
+    @property
+    def num_kernels(self) -> int:
+        return self._engine.num_kernels
 
     # ------------------------------------------------------------ epoch view
 
@@ -116,15 +139,21 @@ class PolicyContext:
         """
         engine = self._engine
         epoch_cycles = max(1, cycle - self._last_cycle)
+        num_kernels = engine.num_kernels
         retired = tuple(stats.retired_thread_insts
                         for stats in engine.kernel_stats)
         last = self._last_retired
+        if len(last) < num_kernels:
+            # Kernels launched since the previous boundary enter the view
+            # with a zero baseline: their first delta is everything they
+            # retired since activation.
+            last.extend([0] * (num_kernels - len(last)))
         retired_delta = tuple(retired[idx] - last[idx]
-                              for idx in range(self.num_kernels))
+                              for idx in range(num_kernels))
         epoch_ipc = tuple((retired[idx] - last[idx]) / epoch_cycles
-                          for idx in range(self.num_kernels))
+                          for idx in range(num_kernels))
         cumulative_ipc = tuple(retired[idx] / max(1, cycle)
-                               for idx in range(self.num_kernels))
+                               for idx in range(num_kernels))
         view = EpochView(index=engine.epoch_index, cycle=cycle,
                          epoch_cycles=epoch_cycles, retired=retired,
                          retired_delta=retired_delta, epoch_ipc=epoch_ipc,

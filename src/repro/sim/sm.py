@@ -193,6 +193,17 @@ class SM:
 
     # ------------------------------------------------------------ TB hosting
 
+    def add_kernel(self) -> None:
+        """Extend every per-kernel parallel list for a mid-run launch
+        (``GPUSimulator.launch_at``); the newcomer starts with no TBs, no
+        quota and clean sampling accumulators."""
+        self.tb_count.append(0)
+        self.live_tb_count.append(0)
+        self.quota_ok.append(True)
+        self.quota_counters.append(0.0)
+        self.idle_sum.append(0)
+        self.retired_local.append(0)
+
     def dispatch_tb(self, kernel_idx: int, tb_id: int, cycle: int) -> ThreadBlock:
         """Admit one TB of the kernel and spread its warps over schedulers."""
         runtime = self.runtimes[kernel_idx]
